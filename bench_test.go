@@ -1,0 +1,304 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§4). Each BenchmarkFigNN runs the experiment matrix (cached across
+// benchmarks), derives the figure, and reports its headline numbers as
+// custom benchmark metrics, so
+//
+//	go test -bench=Fig -benchmem
+//
+// reproduces the entire results section. BenchmarkTable* render the §3.3
+// configuration tables. The remaining benchmarks measure the simulator
+// itself (component throughputs).
+package parrot_test
+
+import (
+	"sync"
+	"testing"
+
+	"parrot"
+	"parrot/internal/config"
+	"parrot/internal/experiments"
+	"parrot/internal/isa"
+	"parrot/internal/opt"
+	"parrot/internal/trace"
+	"parrot/internal/workload"
+)
+
+// benchInsts keeps the full 44-app × 7-model matrix tractable inside the
+// benchmark harness. cmd/parrotbench regenerates the figures at any scale.
+const benchInsts = 50_000
+
+var (
+	matrixOnce sync.Once
+	matrix     *experiments.Results
+)
+
+// benchMatrix runs the full experiment matrix once per benchmark binary.
+func benchMatrix(b *testing.B) *experiments.Results {
+	b.Helper()
+	matrixOnce.Do(func() {
+		matrix = experiments.Run(experiments.Config{Insts: benchInsts})
+	})
+	return matrix
+}
+
+// reportSeries publishes a figure's overall-mean series as benchmark
+// metrics.
+func reportSeries(b *testing.B, fig *experiments.Figure, unit string) {
+	for name, groups := range fig.Values {
+		if v, ok := groups["Overall"]; ok {
+			b.ReportMetric(v, name+"_"+unit)
+		}
+	}
+}
+
+func BenchmarkTable31(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Table31().String()
+	}
+}
+
+func BenchmarkTable32(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Table32().String()
+	}
+}
+
+func BenchmarkFig41IPCvsBaseline(b *testing.B) {
+	res := benchMatrix(b)
+	var fig *experiments.Figure
+	for i := 0; i < b.N; i++ {
+		fig = res.Fig41()
+	}
+	reportSeries(b, fig, "xIPC")
+}
+
+func BenchmarkFig42EnergyVsBaseline(b *testing.B) {
+	res := benchMatrix(b)
+	var fig *experiments.Figure
+	for i := 0; i < b.N; i++ {
+		fig = res.Fig42()
+	}
+	reportSeries(b, fig, "xE")
+}
+
+func BenchmarkFig43CMPWvsBaseline(b *testing.B) {
+	res := benchMatrix(b)
+	var fig *experiments.Figure
+	for i := 0; i < b.N; i++ {
+		fig = res.Fig43()
+	}
+	reportSeries(b, fig, "xCMPW")
+}
+
+func BenchmarkFig44IPCvsN(b *testing.B) {
+	res := benchMatrix(b)
+	var fig *experiments.Figure
+	for i := 0; i < b.N; i++ {
+		fig = res.Fig44()
+	}
+	reportSeries(b, fig, "xIPC")
+}
+
+func BenchmarkFig45EnergyVsN(b *testing.B) {
+	res := benchMatrix(b)
+	var fig *experiments.Figure
+	for i := 0; i < b.N; i++ {
+		fig = res.Fig45()
+	}
+	reportSeries(b, fig, "xE")
+}
+
+func BenchmarkFig46CMPWvsN(b *testing.B) {
+	res := benchMatrix(b)
+	var fig *experiments.Figure
+	for i := 0; i < b.N; i++ {
+		fig = res.Fig46()
+	}
+	reportSeries(b, fig, "xCMPW")
+}
+
+func BenchmarkFig47Misprediction(b *testing.B) {
+	res := benchMatrix(b)
+	var fig *experiments.Figure
+	for i := 0; i < b.N; i++ {
+		fig = res.Fig47()
+	}
+	reportSeries(b, fig, "rate")
+}
+
+func BenchmarkFig48Coverage(b *testing.B) {
+	res := benchMatrix(b)
+	var fig *experiments.Figure
+	for i := 0; i < b.N; i++ {
+		fig = res.Fig48()
+	}
+	reportSeries(b, fig, "frac")
+}
+
+func BenchmarkFig49OptimizerImpact(b *testing.B) {
+	res := benchMatrix(b)
+	var fig *experiments.Figure
+	for i := 0; i < b.N; i++ {
+		fig = res.Fig49()
+	}
+	reportSeries(b, fig, "frac")
+}
+
+func BenchmarkFig410Utilization(b *testing.B) {
+	res := benchMatrix(b)
+	var fig *experiments.Figure
+	for i := 0; i < b.N; i++ {
+		fig = res.Fig410()
+	}
+	reportSeries(b, fig, "execs")
+}
+
+func BenchmarkFig411Breakdown(b *testing.B) {
+	res := benchMatrix(b)
+	var fig *experiments.Figure
+	for i := 0; i < b.N; i++ {
+		fig = res.Fig411()
+	}
+	// Publish the paper's §4.4 observation: trace-manipulation share.
+	b.ReportMetric(res.TraceManipulationShare(config.TON, "swim"), "manip_share_swim")
+	_ = fig
+}
+
+// --- simulator component throughput benchmarks ---
+
+// BenchmarkSimulatorN measures end-to-end simulation speed of the baseline
+// machine in simulated instructions per wall second.
+func BenchmarkSimulatorN(b *testing.B) {
+	benchSimulator(b, parrot.N)
+}
+
+// BenchmarkSimulatorTON measures the PARROT machine with all trace
+// machinery active.
+func BenchmarkSimulatorTON(b *testing.B) {
+	benchSimulator(b, parrot.TON)
+}
+
+func benchSimulator(b *testing.B, id parrot.ModelID) {
+	m, _ := parrot.GetModel(id)
+	app, _ := parrot.AppByName("flash")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := parrot.Run(m, app, 30000)
+		if r.Insts == 0 {
+			b.Fatal("empty run")
+		}
+	}
+	b.ReportMetric(float64(30000*b.N)/b.Elapsed().Seconds(), "sim-insts/s")
+}
+
+// BenchmarkOptimizer measures dynamic-optimizer throughput in traces/sec.
+func BenchmarkOptimizer(b *testing.B) {
+	app, _ := parrot.AppByName("wupwise")
+	traces := parrot.SampleTraces(app, 40000, 500)
+	o := opt.New(opt.AllOptimizations())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := traces[i%len(traces)]
+		cp := append([]isa.Uop(nil), tr.Uops...)
+		o.OptimizeUops(cp)
+	}
+}
+
+// BenchmarkSelector measures trace-selection throughput over the committed
+// stream.
+func BenchmarkSelector(b *testing.B) {
+	app, _ := parrot.AppByName("gcc")
+	prog := workload.Generate(app)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stream := workload.NewStream(prog, 20000)
+		sel := trace.NewSelector()
+		segs := 0
+		for {
+			d, ok := stream.Next()
+			if !ok {
+				break
+			}
+			segs += len(sel.Feed(d))
+		}
+		if segs == 0 {
+			b.Fatal("no segments")
+		}
+	}
+}
+
+// BenchmarkWorkloadGen measures synthetic program generation.
+func BenchmarkWorkloadGen(b *testing.B) {
+	app, _ := parrot.AppByName("gcc")
+	for i := 0; i < b.N; i++ {
+		prog := workload.Generate(app)
+		if prog.StaticInsts() == 0 {
+			b.Fatal("empty program")
+		}
+	}
+}
+
+// BenchmarkStream measures dynamic stream generation in instructions/sec.
+func BenchmarkStream(b *testing.B) {
+	app, _ := parrot.AppByName("swim")
+	prog := workload.Generate(app)
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		s := workload.NewStream(prog, 10000)
+		for {
+			if _, ok := s.Next(); !ok {
+				break
+			}
+			n++
+		}
+	}
+	b.ReportMetric(float64(n)/b.Elapsed().Seconds(), "insts/s")
+}
+
+// --- ablation and sensitivity benchmarks (design-choice studies) ---
+
+var studyAppsOnce sync.Once
+var studyAppsList []workload.Profile
+
+func benchStudyApps() []workload.Profile {
+	studyAppsOnce.Do(func() {
+		for _, name := range []string{"gcc", "swim", "word", "flash", "dotnet-num1"} {
+			p, _ := workload.ByName(name)
+			studyAppsList = append(studyAppsList, p)
+		}
+	})
+	return studyAppsList
+}
+
+// BenchmarkAblationOptimizerClasses reproduces the §2.4 pass-class split:
+// general-purpose vs core-specific optimizations.
+func BenchmarkAblationOptimizerClasses(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Ablation(benchStudyApps(), 40_000).String()
+	}
+}
+
+// BenchmarkSensitivityBlazingThreshold reproduces the §2.4 relaxed-optimizer
+// argument: reuse per optimization stays high as the threshold grows.
+func BenchmarkSensitivityBlazingThreshold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.BlazingSensitivity(benchStudyApps(), 40_000, nil).String()
+	}
+}
+
+// BenchmarkSensitivityTraceCacheSize reproduces the §4.2 coverage-vs-size
+// relation.
+func BenchmarkSensitivityTraceCacheSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.TCSizeSensitivity(benchStudyApps(), 40_000, nil).String()
+	}
+}
+
+// BenchmarkSplitCoreStudy explores the §5 future-work split-core design
+// points.
+func BenchmarkSplitCoreStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.SplitCoreStudy(benchStudyApps(), 40_000).String()
+	}
+}

@@ -1,0 +1,133 @@
+// Command parrotbench regenerates the paper's evaluation: every figure of
+// §4 and the configuration tables of §3.3. Each figure prints the same
+// rows/series the paper reports — per-suite geometric means, the overall
+// mean and the three killer applications.
+//
+// Usage:
+//
+//	parrotbench                  # all tables and figures
+//	parrotbench -fig 4.5         # one figure
+//	parrotbench -table 3.2       # one table
+//	parrotbench -n 200000        # instructions per application
+//	parrotbench -models N,TON    # restrict the model set
+//	parrotbench -json            # machine-readable result matrix
+//	parrotbench -ablation        # optimizer pass-class ablation (§2.4)
+//	parrotbench -sensitivity     # blazing-threshold / trace-cache sweeps
+//	parrotbench -splitstudy      # split-core future-work study (§5)
+//	parrotbench -quick           # restrict studies to 1 app per suite
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"parrot"
+	"parrot/internal/config"
+	"parrot/internal/experiments"
+	"parrot/internal/workload"
+)
+
+func main() {
+	fig := flag.String("fig", "", "figure to regenerate (4.1 ... 4.11); empty = all")
+	table := flag.String("table", "", "table to regenerate (3.1 or 3.2)")
+	n := flag.Int("n", 100_000, "dynamic instructions per application")
+	models := flag.String("models", "", "comma-separated model subset (default: all)")
+	verbose := flag.Bool("v", false, "print per-application results")
+	ablation := flag.Bool("ablation", false, "run the optimizer pass-class ablation instead of the figures")
+	sensitivity := flag.Bool("sensitivity", false, "run the blazing-threshold and trace-cache-size sensitivity sweeps")
+	splitstudy := flag.Bool("splitstudy", false, "run the split-core future-work study (§5)")
+	quick := flag.Bool("quick", false, "restrict studies to one application per suite")
+	jsonOut := flag.Bool("json", false, "emit the full result matrix as JSON instead of figures")
+	flag.Parse()
+
+	if *table != "" {
+		switch *table {
+		case "3.1":
+			fmt.Println(experiments.Table31())
+		case "3.2":
+			fmt.Println(experiments.Table32())
+		default:
+			fmt.Fprintf(os.Stderr, "unknown table %q (3.1 or 3.2)\n", *table)
+			os.Exit(1)
+		}
+		return
+	}
+
+	var studyApps []workload.Profile
+	if *quick {
+		for _, name := range []string{"gcc", "swim", "word", "flash", "dotnet-num1"} {
+			p, _ := workload.ByName(name)
+			studyApps = append(studyApps, p)
+		}
+	}
+	if *ablation {
+		fmt.Println(experiments.Ablation(studyApps, *n))
+		return
+	}
+	if *sensitivity {
+		fmt.Println(experiments.BlazingSensitivity(studyApps, *n, nil))
+		fmt.Println(experiments.TCSizeSensitivity(studyApps, *n, nil))
+		return
+	}
+	if *splitstudy {
+		fmt.Println(experiments.SplitCoreStudy(studyApps, *n))
+		return
+	}
+
+	cfg := parrot.ExperimentConfig{Insts: *n}
+	if *models != "" {
+		var ms []config.Model
+		for _, id := range strings.Split(*models, ",") {
+			m, err := parrot.GetModel(parrot.ModelID(strings.TrimSpace(id)))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			ms = append(ms, m)
+		}
+		cfg.Models = ms
+	}
+
+	start := time.Now()
+	res := parrot.Experiments(cfg)
+	if *jsonOut {
+		if err := res.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("simulated %d applications × %d models in %v  (P_MAX anchor: %s)\n\n",
+		len(res.Apps()), len(res.Models()), time.Since(start).Round(time.Millisecond), res.PMaxApp)
+
+	if *verbose {
+		for _, id := range res.Models() {
+			for _, p := range res.Apps() {
+				r := res.Get(id, p.Name)
+				fmt.Printf("  %-4s %-14s IPC=%.3f energy=%.4g coverage=%.2f\n",
+					id, p.Name, r.IPC(), r.TotalEnergy(res.PMax), r.Coverage())
+			}
+		}
+		fmt.Println()
+	}
+
+	if *fig == "" {
+		fmt.Println(experiments.Table31())
+		fmt.Println(experiments.Table32())
+		for _, f := range res.AllFigures() {
+			fmt.Println(f.Table)
+		}
+		return
+	}
+	for _, f := range res.AllFigures() {
+		if strings.HasSuffix(f.ID, *fig) {
+			fmt.Println(f.Table)
+			return
+		}
+	}
+	fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+	os.Exit(1)
+}

@@ -1,0 +1,121 @@
+// Command tracegen synthesizes an application's dynamic instruction stream
+// and either dumps it as text or prints distribution statistics — useful
+// for inspecting the workload substrate that stands in for the paper's
+// proprietary IA32 traces.
+//
+// Usage:
+//
+//	tracegen -app gcc -n 2000 -dump
+//	tracegen -app swim -n 100000
+//	tracegen -app swim -n 200000 -o swim.ptrace
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"parrot"
+	"parrot/internal/isa"
+	"parrot/internal/tracefile"
+	"parrot/internal/workload"
+)
+
+func main() {
+	app := flag.String("app", "gcc", "application name")
+	n := flag.Int("n", 100_000, "instructions to generate")
+	dump := flag.Bool("dump", false, "dump the stream as text instead of statistics")
+	out := flag.String("o", "", "write a binary trace file to this path")
+	flag.Parse()
+
+	prof, err := parrot.AppByName(*app)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := tracefile.Capture(f, prof, *n); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		st, _ := os.Stat(*out)
+		fmt.Printf("wrote %d instructions of %s to %s (%d bytes)\n", *n, prof.Name, *out, st.Size())
+		return
+	}
+
+	prog := workload.Generate(prof)
+	stream := workload.NewStream(prog, *n)
+
+	if *dump {
+		w := bufio.NewWriter(os.Stdout)
+		defer w.Flush()
+		for {
+			d, ok := stream.Next()
+			if !ok {
+				return
+			}
+			flags := ""
+			if d.Taken {
+				flags += " T"
+			}
+			if d.EpisodeEnd {
+				flags += " END"
+			}
+			if d.MemAddr != 0 {
+				flags += fmt.Sprintf(" mem=%#x", d.MemAddr)
+			}
+			fmt.Fprintf(w, "%s%s\n", d.Inst, flags)
+		}
+	}
+
+	var insts, uops, branches, taken, mem, complexInsts uint64
+	kindCount := map[isa.InstKind]uint64{}
+	for {
+		d, ok := stream.Next()
+		if !ok {
+			break
+		}
+		insts++
+		uops += uint64(len(d.Inst.Uops))
+		kindCount[d.Inst.Kind]++
+		if d.Inst.Kind == isa.KindBranch {
+			branches++
+			if d.Taken {
+				taken++
+			}
+		}
+		if d.Inst.IsComplex() {
+			complexInsts++
+		}
+		if d.MemAddr != 0 {
+			mem++
+		}
+	}
+	fmt.Printf("application %s (%s), %d instructions\n\n", prof.Name, prof.Suite, insts)
+	fmt.Printf("  static instructions     %8d\n", prog.StaticInsts())
+	fmt.Printf("  hot loops               %8d\n", len(prog.Loops))
+	fmt.Printf("  uops per instruction    %8.3f\n", float64(uops)/float64(insts))
+	fmt.Printf("  conditional branches    %8.3f per inst (taken %.2f)\n",
+		float64(branches)/float64(insts), float64(taken)/float64(branches))
+	fmt.Printf("  memory instructions     %8.3f per inst\n", float64(mem)/float64(insts))
+	fmt.Printf("  complex (3+ uop) insts  %8.3f per inst\n", float64(complexInsts)/float64(insts))
+	fmt.Printf("  observed hot fraction   %8.3f (profile %.3f)\n",
+		stream.HotFractionObserved(), prof.HotFraction)
+	fmt.Println("\n  instruction kinds:")
+	for k := isa.InstKind(0); k < isa.NumInstKinds; k++ {
+		if kindCount[k] == 0 {
+			continue
+		}
+		fmt.Printf("    %-8s %6.2f%%\n", k, 100*float64(kindCount[k])/float64(insts))
+	}
+}

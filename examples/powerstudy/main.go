@@ -1,0 +1,64 @@
+// Powerstudy: the paper's central design-space question — how do the seven
+// machine models trade performance against energy and the cubic-MIPS-per-
+// watt power-awareness metric? This example sweeps all models over a small
+// representative benchmark subset (one per suite) and prints the Figure
+// 4.4/4.5/4.6-style comparison.
+//
+//	go run ./examples/powerstudy
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"parrot"
+)
+
+func main() {
+	// One representative application per suite keeps the sweep fast.
+	var apps []parrot.Profile
+	for _, name := range []string{"gcc", "swim", "word", "flash", "dotnet-num1"} {
+		p, err := parrot.AppByName(name)
+		if err != nil {
+			panic(err)
+		}
+		apps = append(apps, p)
+	}
+
+	res := parrot.Experiments(parrot.ExperimentConfig{
+		Insts: 80_000,
+		Apps:  apps,
+	})
+
+	// geo computes the geometric-mean ratio of a metric against model N.
+	geo := func(metric func(parrot.ModelID, string) float64, id parrot.ModelID) float64 {
+		sum := 0.0
+		for _, p := range apps {
+			sum += math.Log(metric(id, p.Name) / metric(parrot.N, p.Name))
+		}
+		return math.Exp(sum / float64(len(apps)))
+	}
+	ipc := func(id parrot.ModelID, app string) float64 { return res.Get(id, app).IPC() }
+
+	fmt.Println("PARROT power study (5 representative applications)")
+	fmt.Printf("leakage anchor P_MAX from %s\n\n", res.PMaxApp)
+	fmt.Printf("  %-5s %12s %12s %12s\n", "model", "IPC vs N", "energy vs N", "CMPW vs N")
+	for _, m := range parrot.Models() {
+		fmt.Printf("  %-5s %11.1f%% %11.1f%% %11.1f%%\n", m.ID,
+			(geo(ipc, m.ID)-1)*100,
+			(geo(res.TotalEnergy, m.ID)-1)*100,
+			(geo(res.CMPW, m.ID)-1)*100)
+	}
+
+	fmt.Println("\nthe PARROT trade-off (paper §4.1):")
+	fmt.Printf("  TON delivers %.2fx of W's IPC using %.0f%% less energy\n",
+		geo(ipc, parrot.TON)/geo(ipc, parrot.W),
+		(1-geo(res.TotalEnergy, parrot.TON)/geo(res.TotalEnergy, parrot.W))*100)
+
+	// Per-application coverage, Figure 4.8 style.
+	fmt.Println("\ntrace coverage (TON):")
+	for _, p := range apps {
+		fmt.Printf("  %-12s (%-10v) %5.1f%%\n", p.Name, p.Suite,
+			100*res.Get(parrot.TON, p.Name).Coverage())
+	}
+}

@@ -1,0 +1,41 @@
+// Quickstart: simulate the paper's headline comparison on one application —
+// the narrow PARROT machine (TON) against the conventional narrow (N) and
+// wide (W) baselines — and print the performance/energy trade-off.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"parrot"
+)
+
+func main() {
+	app, err := parrot.AppByName("flash") // the paper's strongest application
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("PARROT quickstart: %s (%s), 100k instructions per model\n\n", app.Name, app.Suite)
+
+	var results []*parrot.Result
+	for _, id := range []parrot.ModelID{parrot.N, parrot.TON, parrot.W} {
+		m, _ := parrot.GetModel(id)
+		r := parrot.Run(m, app, 100_000)
+		results = append(results, r)
+		fmt.Printf("  %-4s IPC %.3f   dynamic energy %.4g   coverage %.2f\n",
+			id, r.IPC(), r.DynEnergy, r.Coverage())
+	}
+
+	n, ton, w := results[0], results[1], results[2]
+	fmt.Println()
+	fmt.Printf("TON vs N:  %+.1f%% IPC at %+.1f%% energy — optimized hot traces\n",
+		(ton.IPC()/n.IPC()-1)*100, (ton.DynEnergy/n.DynEnergy-1)*100)
+	fmt.Printf("W   vs N:  %+.1f%% IPC at %+.1f%% energy — the conventional path\n",
+		(w.IPC()/n.IPC()-1)*100, (w.DynEnergy/n.DynEnergy-1)*100)
+	fmt.Printf("TON vs W:  %.2fx the IPC at %.2fx the energy\n",
+		ton.IPC()/w.IPC(), ton.DynEnergy/w.DynEnergy)
+	fmt.Printf("\nuop reduction on optimized traces: %.1f%%  (dependency path: %.1f%%)\n",
+		ton.UopReduction()*100, ton.CritReduction()*100)
+}

@@ -1,0 +1,3 @@
+module parrot
+
+go 1.22

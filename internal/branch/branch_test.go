@@ -1,0 +1,158 @@
+package branch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPredictorLearnsBias(t *testing.T) {
+	p := NewPredictor(1024, 10)
+	pc := uint64(0x4000)
+	for i := 0; i < 64; i++ {
+		p.PredictAndTrain(pc, true)
+	}
+	if !p.Predict(pc) {
+		t.Error("predictor should learn an always-taken branch")
+	}
+	// After warmup the branch must predict correctly.
+	warm := p.Stats.Mispredicts
+	for i := 0; i < 64; i++ {
+		p.PredictAndTrain(pc, true)
+	}
+	if p.Stats.Mispredicts != warm {
+		t.Error("steady-state always-taken branch must not mispredict")
+	}
+}
+
+func TestPredictorLearnsAlternation(t *testing.T) {
+	// gshare with history should learn a strict T/NT alternation.
+	p := NewPredictor(4096, 12)
+	pc := uint64(0x8888)
+	taken := false
+	for i := 0; i < 512; i++ {
+		p.PredictAndTrain(pc, taken)
+		taken = !taken
+	}
+	before := p.Stats.Mispredicts
+	for i := 0; i < 200; i++ {
+		p.PredictAndTrain(pc, taken)
+		taken = !taken
+	}
+	if got := p.Stats.Mispredicts - before; got > 4 {
+		t.Errorf("alternating branch mispredicts after warmup = %d", got)
+	}
+}
+
+func TestPredictorRandomIsHard(t *testing.T) {
+	p := NewPredictor(4096, 12)
+	rng := rand.New(rand.NewSource(5))
+	pc := uint64(0x1234)
+	for i := 0; i < 4000; i++ {
+		p.PredictAndTrain(pc, rng.Intn(2) == 0)
+	}
+	rate := p.Stats.MispredictRate()
+	if rate < 0.3 {
+		t.Errorf("random branch mispredict rate = %v, should be high", rate)
+	}
+}
+
+func TestPredictorEntriesRounding(t *testing.T) {
+	if got := NewPredictor(1000, 10).Entries(); got != 1024 {
+		t.Errorf("entries = %d, want 1024", got)
+	}
+	if got := NewPredictor(4096, 12).Entries(); got != 4096 {
+		t.Errorf("entries = %d, want 4096", got)
+	}
+}
+
+func TestMispredictRateZeroLookups(t *testing.T) {
+	var s Stats
+	if s.MispredictRate() != 0 {
+		t.Error("empty stats must report rate 0")
+	}
+}
+
+func TestBTBInsertLookup(t *testing.T) {
+	b := NewBTB(512)
+	if _, ok := b.Lookup(0x4000); ok {
+		t.Error("empty BTB must miss")
+	}
+	b.Insert(0x4000, 0x5000)
+	tgt, ok := b.Lookup(0x4000)
+	if !ok || tgt != 0x5000 {
+		t.Errorf("lookup = %#x,%v", tgt, ok)
+	}
+}
+
+func TestBTBConflict(t *testing.T) {
+	b := NewBTB(16)
+	// Two PCs with the same index (differ above the index bits).
+	a1 := uint64(0x100)
+	a2 := a1 + uint64(b.Entries())*4
+	b.Insert(a1, 1)
+	b.Insert(a2, 2)
+	if _, ok := b.Lookup(a1); ok {
+		t.Error("conflicting insert must evict prior entry")
+	}
+	if tgt, ok := b.Lookup(a2); !ok || tgt != 2 {
+		t.Error("latest insert must win")
+	}
+}
+
+func TestRASLIFO(t *testing.T) {
+	r := NewRAS(8)
+	r.Push(1)
+	r.Push(2)
+	r.Push(3)
+	for want := uint64(3); want >= 1; want-- {
+		got, ok := r.Pop()
+		if !ok || got != want {
+			t.Fatalf("pop = %d,%v want %d", got, ok, want)
+		}
+	}
+	if _, ok := r.Pop(); ok {
+		t.Error("empty RAS must underflow")
+	}
+}
+
+func TestRASOverflowWraps(t *testing.T) {
+	r := NewRAS(2)
+	r.Push(1)
+	r.Push(2)
+	r.Push(3) // overwrites 1
+	if got, _ := r.Pop(); got != 3 {
+		t.Errorf("pop = %d, want 3", got)
+	}
+	if got, _ := r.Pop(); got != 2 {
+		t.Errorf("pop = %d, want 2", got)
+	}
+	if r.Depth() != 0 {
+		t.Errorf("depth = %d", r.Depth())
+	}
+}
+
+func TestBiggerPredictorIsBetterOnManyBranches(t *testing.T) {
+	// With many branches of fixed per-PC bias, a small table suffers more
+	// aliasing than a large one. This underpins the paper's Fig 4.7 setup
+	// (4K-entry predictor in N vs 2K in TON).
+	run := func(entries int) float64 {
+		p := NewPredictor(entries, 8)
+		rng := rand.New(rand.NewSource(9))
+		pcs := make([]uint64, 3000)
+		bias := make([]bool, len(pcs))
+		for i := range pcs {
+			pcs[i] = uint64(rng.Intn(1<<20) * 4)
+			bias[i] = rng.Intn(2) == 0
+		}
+		for round := 0; round < 30; round++ {
+			for i, pc := range pcs {
+				p.PredictAndTrain(pc, bias[i])
+			}
+		}
+		return p.Stats.MispredictRate()
+	}
+	small, large := run(256), run(8192)
+	if large >= small {
+		t.Errorf("8K-entry rate %v should beat 256-entry rate %v", large, small)
+	}
+}

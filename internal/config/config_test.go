@@ -1,0 +1,153 @@
+package config
+
+import "testing"
+
+func TestAllModelsPresent(t *testing.T) {
+	all := All()
+	if len(all) != 7 {
+		t.Fatalf("models = %d, want 7 (Table 3.1)", len(all))
+	}
+	want := map[ModelID]bool{N: true, W: true, TN: true, TW: true, TON: true, TOW: true, TOS: true}
+	for _, m := range all {
+		if !want[m.ID] {
+			t.Errorf("unexpected model %s", m.ID)
+		}
+		delete(want, m.ID)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing models: %v", want)
+	}
+	if len(Standard()) != 6 {
+		t.Errorf("standard set = %d, want 6 (TOS is a reference)", len(Standard()))
+	}
+}
+
+func TestConfigSpaceStructure(t *testing.T) {
+	// Table 3.1: two dimensions — width class and front-end capability.
+	cases := []struct {
+		id       ModelID
+		width    string
+		tc, optz bool
+	}{
+		{N, "narrow", false, false},
+		{TN, "narrow", true, false},
+		{TON, "narrow", true, true},
+		{W, "wide", false, false},
+		{TW, "wide", true, false},
+		{TOW, "wide", true, true},
+		{TOS, "split", true, true},
+	}
+	for _, tc := range cases {
+		m := Get(tc.id)
+		if m.WidthClass() != tc.width {
+			t.Errorf("%s width class = %s, want %s", tc.id, m.WidthClass(), tc.width)
+		}
+		if m.TraceCache != tc.tc || m.Optimize != tc.optz {
+			t.Errorf("%s capability = (%v,%v), want (%v,%v)",
+				tc.id, m.TraceCache, m.Optimize, tc.tc, tc.optz)
+		}
+	}
+}
+
+func TestWideDoublesBandwidth(t *testing.T) {
+	n, w := Get(N), Get(W)
+	if w.Core.Width != 2*n.Core.Width || w.DecodeWidth != 2*n.DecodeWidth {
+		t.Error("W must double the narrow machine's width")
+	}
+	if w.CoreAreaK <= 1.5*n.CoreAreaK {
+		t.Error("W's area factor must reflect the doubled structures")
+	}
+}
+
+func TestPredictorSplit(t *testing.T) {
+	// §4.2: N uses a 4K-entry branch predictor; PARROT models use 2K
+	// branch + 2K trace predictor entries.
+	if Get(N).BPEntries != 4096 {
+		t.Errorf("N BP entries = %d", Get(N).BPEntries)
+	}
+	ton := Get(TON)
+	if ton.BPEntries != 2048 || ton.TPredEntries != 2048 {
+		t.Errorf("TON predictors = %d/%d, want 2048/2048", ton.BPEntries, ton.TPredEntries)
+	}
+}
+
+func TestSameWidthBaseline(t *testing.T) {
+	for id, want := range map[ModelID]ModelID{
+		TN: N, TON: N, TW: W, TOW: W, TOS: N, N: N, W: W,
+	} {
+		m := Get(id)
+		if got := m.SameWidthBaseline(); got != want {
+			t.Errorf("%s baseline = %s, want %s", id, got, want)
+		}
+	}
+}
+
+func TestSplitConfiguration(t *testing.T) {
+	m := Get(TOS)
+	if !m.Split || m.HotCore.Width <= m.Core.Width {
+		t.Error("TOS must pair a narrow cold core with a wide hot core")
+	}
+	if m.SwitchPenalty <= 0 {
+		t.Error("split model needs a state-switch penalty")
+	}
+	if m.CoreAreaK <= Get(TOW).CoreAreaK {
+		t.Error("two cores must cost more area than one wide core")
+	}
+}
+
+func TestAreaOrdering(t *testing.T) {
+	// Leakage-area factors must order by hardware content.
+	order := []ModelID{N, TN, TON, W, TW, TOW, TOS}
+	prevNarrow := 0.0
+	for _, id := range order[:3] {
+		k := Get(id).CoreAreaK
+		if k <= prevNarrow {
+			t.Errorf("area K not increasing at %s", id)
+		}
+		prevNarrow = k
+	}
+	if Get(W).CoreAreaK <= Get(TON).CoreAreaK {
+		t.Error("wide core must exceed narrow PARROT in area")
+	}
+}
+
+func TestEnergyParams(t *testing.T) {
+	m := Get(TOW)
+	p := (&m).EnergyParams()
+	if p.Width != 8 || p.DecodeWidth != 8 {
+		t.Errorf("params = %+v", p)
+	}
+	tos := Get(TOS)
+	if hp := tos.HotEnergyParams(); hp.Width != 8 {
+		t.Errorf("TOS hot params width = %d, want wide", hp.Width)
+	}
+	ton := Get(TON)
+	if hp := ton.HotEnergyParams(); hp.Width != 4 {
+		t.Error("unified model hot params must match its single core")
+	}
+}
+
+func TestUnknownModelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown model must panic")
+		}
+	}()
+	Get("BOGUS")
+}
+
+func TestTraceSettingsShared(t *testing.T) {
+	for _, id := range []ModelID{TN, TW, TON, TOW, TOS} {
+		m := Get(id)
+		if m.TCFrames != 512 || m.TCWays != 4 {
+			t.Errorf("%s trace cache geometry %d/%d", id, m.TCFrames, m.TCWays)
+		}
+		if m.HotThreshold == 0 {
+			t.Errorf("%s hot threshold unset", id)
+		}
+		if m.Optimize && m.BlazeThreshold <= m.HotThreshold {
+			t.Errorf("%s blazing threshold %d must exceed hot threshold %d",
+				id, m.BlazeThreshold, m.HotThreshold)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"parrot/internal/energy"
+	"parrot/internal/isa"
+	"parrot/internal/trace"
+	"parrot/internal/workload"
+)
+
+// execCold runs a segment through the cold pipeline: instruction-cache
+// fetch, width-limited decode with the complex-decoder slot rule, branch
+// prediction, and dispatch into the execution engine.
+func (m *Machine) execCold(seg *trace.Segment) {
+	m.coldInsts += uint64(seg.NumInsts())
+	for i := range seg.Insts {
+		m.coldFetchInst(&seg.Insts[i])
+	}
+}
+
+// decodeSlotFree reports whether the current cycle's decode group can
+// accept the instruction: at most DecodeWidth instructions per cycle, and
+// complex (3+ uop) instructions only in the single complex-capable slot, in
+// the style of IA32 4-1-1 decoders.
+func (m *Machine) decodeSlotFree(in *isa.Inst) bool {
+	if m.decCycle != m.clock {
+		return true // fresh cycle, group resets
+	}
+	if m.decUsed >= m.model.DecodeWidth {
+		return false
+	}
+	if in.IsComplex() && (m.decComplexUsed || m.decUsed > 0) {
+		// Complex instructions decode alone at the head of a group.
+		return false
+	}
+	return true
+}
+
+// useDecodeSlot consumes a decode slot and charges decode energy.
+func (m *Machine) useDecodeSlot(in *isa.Inst) {
+	if m.decCycle != m.clock {
+		m.decCycle = m.clock
+		m.decUsed = 0
+		m.decComplexUsed = false
+	}
+	m.decUsed++
+	if in.IsComplex() {
+		m.decComplexUsed = true
+		m.counts.Add(energy.EvDecodeComplex, 1)
+	} else {
+		m.counts.Add(energy.EvDecodeSimple, 1)
+	}
+}
+
+// coldFetchInst advances the machine until one instruction is fetched,
+// decoded and enqueued, modelling all front-end hazards on the way.
+func (m *Machine) coldFetchInst(d *workload.DynInst) {
+	in := d.Inst
+
+	for m.frontBlocked() {
+		m.tick()
+	}
+
+	// Instruction cache: access on every line transition.
+	line := in.PC & cacheLineMask
+	endLine := (in.PC + uint64(in.Size) - 1) & cacheLineMask
+	if line != m.lastLine {
+		extra := m.hier.FetchInst(in.PC)
+		m.lastLine = line
+		if endLine != line {
+			m.hier.FetchInst(endLine) // split-line fetch
+			m.lastLine = endLine
+		}
+		if extra > 0 {
+			m.fetchStallUntil = m.clock + uint64(extra)
+			for m.frontBlocked() {
+				m.tick()
+			}
+		}
+	}
+
+	// Decode slot.
+	for !m.decodeSlotFree(in) {
+		m.tick()
+	}
+	m.useDecodeSlot(in)
+
+	// Branch prediction and redirect modelling.
+	mispredicted := false
+	switch in.Kind {
+	case isa.KindBranch:
+		correct := m.bp.PredictAndTrain(in.PC, d.Taken)
+		m.counts.Add(energy.EvBPLookup, 1)
+		m.counts.Add(energy.EvBPUpdate, 1)
+		if d.Taken && !d.EpisodeEnd {
+			m.counts.Add(energy.EvBTB, 1)
+			if tgt, ok := m.btb.Lookup(in.PC); !ok || tgt != d.NextPC {
+				m.btb.Insert(in.PC, d.NextPC)
+				if correct {
+					// Direction right, target unknown: short fetch bubble.
+					m.fetchStallUntil = maxU64(m.fetchStallUntil, m.clock+2)
+				}
+			}
+		}
+		mispredicted = !correct
+	case isa.KindJump:
+		// Direct target; no penalty.
+	case isa.KindJumpInd:
+		m.counts.Add(energy.EvBTB, 1)
+		tgt, ok := m.btb.Lookup(in.PC)
+		if !d.EpisodeEnd {
+			m.btb.Insert(in.PC, d.NextPC)
+		}
+		mispredicted = !ok || tgt != d.NextPC
+	case isa.KindCall:
+		m.ras.Push(in.FallThrough())
+		m.counts.Add(energy.EvRAS, 1)
+	case isa.KindRet:
+		m.counts.Add(energy.EvRAS, 1)
+		tgt, ok := m.ras.Pop()
+		mispredicted = !ok || tgt != d.NextPC
+	}
+	if d.EpisodeEnd {
+		// The dynamic successor is unrelated code: an unpredictable
+		// discontinuity redirects the front-end unconditionally.
+		mispredicted = false
+		m.counts.Add(energy.EvFlushRecovery, 1)
+		m.fetchStallUntil = maxU64(m.fetchStallUntil, m.clock+uint64(m.model.FrontDepth))
+		m.lastLine = ^uint64(0)
+	}
+	if mispredicted {
+		m.counts.Add(energy.EvFlushRecovery, 1)
+		m.lastLine = ^uint64(0)
+	}
+	if d.Taken || d.EpisodeEnd {
+		// Conventional fetch cannot cross a taken control transfer in the
+		// same cycle: close the decode group. Trace-cache fetch has no such
+		// break — the core bandwidth motivation for trace caches.
+		m.decCycle = m.clock
+		m.decUsed = m.model.DecodeWidth
+	}
+
+	// Enqueue the decoded uops.
+	for k := range in.Uops {
+		it := dispatchItem{
+			uop:     &in.Uops[k],
+			lastUop: k == len(in.Uops)-1,
+		}
+		if in.Uops[k].Op.IsMem() {
+			it.memAddr = d.MemAddr
+		}
+		if mispredicted && k == len(in.Uops)-1 {
+			// Fetch stalls until the mispredicted CTI resolves.
+			it.resolve = true
+		}
+		m.enqueue(it)
+	}
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,28 @@
+package core
+
+import (
+	"fmt"
+
+	"parrot/internal/config"
+	"parrot/internal/workload"
+)
+
+// RunDebug is RunWarm plus a diagnostic summary of where cycles and stalls
+// went (development and calibration aid).
+func RunDebug(model config.Model, prof workload.Profile, n int) (*Result, string) {
+	if n <= 0 {
+		n = prof.Instructions
+	}
+	m := New(model)
+	prog := workload.Generate(prof)
+	r := m.RunSourceWarm(workload.NewStream(prog, n), prof, int(float64(n)*WarmupFraction))
+	dbg := fmt.Sprintf(
+		"cyc=%d fetchStall=%d resolveWait=%d robStall=%d iqStall=%d disp=%d "+
+			"l1dMR=%.3f l1iMR=%.3f l2MR=%.3f bpMR=%.3f coldRes=%d coldAbs=%d hotSeg=%d tpMR=%.3f",
+		r.Cycles, m.diagFetchStall, m.diagResolve,
+		m.cold.Stats.StallROBFull, m.cold.Stats.StallIQFull, m.cold.Stats.UopsDispatched,
+		m.hier.L1D.Stats.MissRate(), m.hier.L1I.Stats.MissRate(), m.hier.L2.Stats.MissRate(),
+		m.bp.Stats.MispredictRate(),
+		m.diagColdResident, m.diagColdAbsent, m.hotSegments, r.TPredStats.MispredictRate())
+	return r, dbg
+}

@@ -1,0 +1,477 @@
+// Package core assembles the PARROT machine (§2.3): the decoupled cold and
+// hot subsystems, the fetch selector arbitrating between branch- and
+// trace-predictor, the foreground execution pipelines, and the background
+// post-processing phases — TID selection, hot filtering, trace construction
+// and insertion on the cold side; blazing filtering, dynamic optimization
+// and trace-cache write-back on the hot side.
+//
+// The same machine executes all seven study configurations: the baseline
+// models (N, W) simply have the trace subsystem disabled, and the split
+// model (TOS) instantiates a second, wide execution engine for the hot
+// pipeline with a register state-switch penalty between the cores.
+package core
+
+import (
+	"fmt"
+
+	"parrot/internal/branch"
+	"parrot/internal/config"
+	"parrot/internal/energy"
+	"parrot/internal/filter"
+	"parrot/internal/isa"
+	"parrot/internal/mem"
+	"parrot/internal/ooo"
+	"parrot/internal/opt"
+	"parrot/internal/tcache"
+	"parrot/internal/tpred"
+	"parrot/internal/trace"
+	"parrot/internal/workload"
+)
+
+// cacheLineMask aligns instruction addresses to fetch lines.
+const cacheLineMask = ^uint64(63)
+
+// dispatchItem is one decoded uop waiting between the front-ends and the
+// rename/dispatch stage.
+type dispatchItem struct {
+	uop      *isa.Uop
+	memAddr  uint64
+	lastUop  bool // last uop of its macro-instruction
+	traceEnd bool // last uop of an atomic trace
+	hot      bool // destined for the hot core (split models)
+	resolve  bool // fetch is stalled until this uop executes (mispredict)
+}
+
+// Machine is one simulated processor instance.
+type Machine struct {
+	model config.Model
+
+	hier *mem.Hierarchy
+	bp   *branch.Predictor
+	btb  *branch.BTB
+	ras  *branch.RAS
+
+	cold *ooo.Engine
+	hot  *ooo.Engine // == cold for unified models
+
+	tc     *tcache.Cache
+	tp     *tpred.Predictor
+	hotF   *filter.CounterCache
+	blazeF *filter.CounterCache
+	optz   *opt.Optimizer
+
+	emodel *energy.Model
+	ehot   *energy.Model
+
+	counts    energy.Counts // priced with emodel
+	countsHot energy.Counts // priced with ehot (split models only)
+
+	sel *trace.Selector
+
+	// Timing state.
+	clock           uint64
+	clockStart      uint64 // clock value at the last statistics reset
+	fetchStallUntil uint64
+	pendingBranch   ooo.Handle
+	pendingEngine   *ooo.Engine
+	lastLine        uint64
+	decCycle        uint64
+	decUsed         int
+	decComplexUsed  bool
+	supCycle        uint64
+	supUsed         int
+	optBusyUntil    uint64
+
+	dq     []dispatchItem
+	dqHead int
+
+	pendingTraceInsts []int
+	lastSegHot        bool
+	lastDispatchHot   bool
+	switchStallUntil  uint64
+
+	// Accounting.
+	insts        uint64
+	hotInsts     uint64
+	coldInsts    uint64
+	traceAborts  uint64
+	abortedUops  uint64
+	optCount     uint64
+	optExecs     uint64
+	uopsBefore   uint64
+	uopsAfter    uint64
+	critBefore   uint64
+	critAfter    uint64
+	buildCount   uint64
+	hotSegments  uint64
+	coldSegments uint64
+
+	// Execution-weighted optimizer impact (Figure 4.9): sums over every
+	// hot execution of an optimized trace.
+	dynUopsOrig uint64
+	dynUopsOpt  uint64
+	dynCritOrig uint64
+	dynCritOpt  uint64
+	optSeen     map[uint64]struct{} // distinct optimized traces executed
+
+	// Diagnostic cycle attribution (development aid; cheap to keep).
+	diagFetchStall   uint64 // cycles with fetch stalled on a timer
+	diagResolve      uint64 // cycles waiting for a mispredicted CTI to resolve
+	diagColdResident uint64 // segments run cold although their trace was resident
+	diagColdAbsent   uint64 // segments run cold with no resident trace
+}
+
+// New builds a machine for the given model configuration.
+func New(model config.Model) *Machine {
+	m := &Machine{
+		model:  model,
+		hier:   mem.NewHierarchy(model.Mem),
+		bp:     branch.NewPredictor(model.BPEntries, model.BPHistBits),
+		btb:    branch.NewBTB(model.BTBEntries),
+		ras:    branch.NewRAS(model.RASDepth),
+		sel:    trace.NewSelector(),
+		emodel: energy.NewModel(model.EnergyParams()),
+	}
+	if model.BPHistBits == 0 {
+		m.bp = branch.NewPredictor(model.BPEntries, 12)
+	}
+	m.cold = ooo.New(model.Core, m.dataAccess)
+	m.hot = m.cold
+	m.ehot = m.emodel
+	if model.Split {
+		m.hot = ooo.New(model.HotCore, m.dataAccess)
+		m.ehot = energy.NewModel(model.HotEnergyParams())
+	}
+	if model.TraceCache {
+		m.tc = tcache.New(model.TCFrames, model.TCWays)
+		m.tp = tpred.New(model.TPredEntries)
+		m.hotF = filter.New(model.HotEntries, model.HotWays, model.HotThreshold)
+		if model.Optimize {
+			m.blazeF = filter.New(model.BlazeEntries, model.BlazeWays, model.BlazeThreshold)
+			m.optz = opt.New(model.OptConfig)
+		}
+	}
+	return m
+}
+
+// Model returns the machine's configuration.
+func (m *Machine) Model() config.Model { return m.model }
+
+// dataAccess is the engine's data-memory latency callback.
+func (m *Machine) dataAccess(addr uint64, write bool) int {
+	return m.hier.AccessData(addr, write)
+}
+
+// frontBlocked reports whether the cold front-end must stall this cycle.
+func (m *Machine) frontBlocked() bool {
+	if m.clock < m.fetchStallUntil {
+		return true
+	}
+	if m.pendingBranch != 0 {
+		if m.pendingEngine.Done(m.pendingBranch) {
+			// Resolved: redirect costs a front-pipeline refill.
+			m.pendingBranch = 0
+			m.fetchStallUntil = m.clock + uint64(m.model.FrontDepth)
+		}
+		return true
+	}
+	if len(m.dq)-m.dqHead > 4*m.model.Core.Width {
+		return true // decode back-pressure
+	}
+	return false
+}
+
+// tick advances the machine one cycle: dispatch, then engine clocks.
+func (m *Machine) tick() {
+	m.clock++
+	if m.clock < m.fetchStallUntil {
+		m.diagFetchStall++
+	} else if m.pendingBranch != 0 {
+		m.diagResolve++
+	}
+
+	// Dispatch from the queue into the engines.
+	coldBudget := m.model.Core.Width
+	hotBudget := coldBudget
+	if m.model.Split {
+		hotBudget = m.model.HotCore.Width
+	}
+	for m.dqHead < len(m.dq) {
+		it := &m.dq[m.dqHead]
+		eng := m.cold
+		budget := &coldBudget
+		if m.model.Split && it.hot {
+			eng = m.hot
+			budget = &hotBudget
+		}
+		if m.model.Split && it.hot != m.lastDispatchHot {
+			// Register state switch between the split cores.
+			if m.switchStallUntil == 0 {
+				m.switchStallUntil = m.clock + uint64(m.model.SwitchPenalty)
+				m.countsHot.Add(energy.EvStateSwitch, 1)
+			}
+			if m.clock < m.switchStallUntil {
+				break
+			}
+			m.switchStallUntil = 0
+			m.lastDispatchHot = it.hot
+		}
+		if *budget == 0 || !eng.CanDispatch() {
+			if *budget > 0 {
+				if eng.InFlight() >= eng.Config().ROBSize {
+					eng.NoteStallROB()
+				} else {
+					eng.NoteStallIQ()
+				}
+			}
+			break
+		}
+		h := eng.Dispatch(it.uop, it.memAddr, it.lastUop, it.traceEnd)
+		if it.resolve {
+			m.pendingBranch = h
+			m.pendingEngine = eng
+		}
+		*budget--
+		m.dqHead++
+	}
+	if m.dqHead > 0 && m.dqHead == len(m.dq) {
+		m.dq = m.dq[:0]
+		m.dqHead = 0
+	}
+
+	// Engine cycles.
+	_, ci, te := m.cold.Cycle()
+	m.insts += uint64(ci)
+	m.creditTraces(te)
+	if m.model.Split {
+		_, ci, te = m.hot.Cycle()
+		m.insts += uint64(ci)
+		m.creditTraces(te)
+	}
+}
+
+// creditTraces credits committed atomic traces with their instruction
+// counts.
+func (m *Machine) creditTraces(traceEnds int) {
+	for i := 0; i < traceEnds; i++ {
+		if len(m.pendingTraceInsts) == 0 {
+			panic("core: trace commit without pending credit")
+		}
+		m.insts += uint64(m.pendingTraceInsts[0])
+		m.pendingTraceInsts = m.pendingTraceInsts[1:]
+	}
+}
+
+// enqueue pushes a uop toward dispatch.
+func (m *Machine) enqueue(it dispatchItem) {
+	m.dq = append(m.dq, it)
+}
+
+// InstSource supplies a committed dynamic instruction stream. The synthetic
+// workload walker implements it; so does the trace-file reader, which lets
+// the simulator replay externally captured streams.
+type InstSource interface {
+	Next() (workload.DynInst, bool)
+}
+
+// Run executes n dynamic instructions of the application and returns the
+// collected result. Passing n <= 0 uses the profile's default length.
+func Run(model config.Model, prof workload.Profile, n int) *Result {
+	if n <= 0 {
+		n = prof.Instructions
+	}
+	m := New(model)
+	prog := workload.Generate(prof)
+	return m.RunSource(workload.NewStream(prog, n), prof)
+}
+
+// RunSource drives the machine from an arbitrary instruction source with no
+// warmup window and collects the result. Label information is taken from
+// prof (Name/Suite only; the generator parameters are ignored).
+func (m *Machine) RunSource(src InstSource, prof workload.Profile) *Result {
+	for {
+		d, ok := src.Next()
+		if !ok {
+			break
+		}
+		for _, seg := range m.sel.Feed(d) {
+			m.execSegment(&seg)
+		}
+	}
+	for _, seg := range m.sel.Flush() {
+		m.execSegment(&seg)
+	}
+	// Drain the pipeline.
+	for m.dqHead < len(m.dq) {
+		m.tick()
+	}
+	for m.cold.InFlight() > 0 || (m.model.Split && m.hot.InFlight() > 0) {
+		m.tick()
+	}
+	return m.collect(prof)
+}
+
+// execSegment runs one selection segment through the fetch selector and the
+// appropriate pipeline, then performs the background phases.
+func (m *Machine) execSegment(seg *trace.Segment) {
+	if !m.model.TraceCache {
+		m.execCold(seg)
+		return
+	}
+
+	key := seg.TID.Key()
+	pred, predOK := m.tp.Predict()
+	m.counts.Add(energy.EvTPredLookup, 1)
+
+	var tr *trace.Trace
+	hot := false
+	switch {
+	case predOK && pred == key:
+		m.counts.Add(energy.EvTCLookup, 1)
+		if t, hit := m.tc.Lookup(key); hit && m.traceMatches(t, seg) {
+			hot = true
+			tr = t
+		}
+	case predOK:
+		// The fetch selector chose the hot pipeline for the wrong TID: the
+		// predicted trace starts executing and aborts on a failed assert.
+		m.counts.Add(energy.EvTCLookup, 1)
+		if t, hit := m.tc.Lookup(pred); hit {
+			m.traceAbort(t)
+		}
+	default:
+		// Lower-priority path of the fetch selector (§2.3): with no
+		// confident trace prediction, the trace cache is indexed by fetch
+		// address plus the branch predictor's multiple-branch directions,
+		// Rotenberg-style. A resident trace under mispredicted directions
+		// starts and aborts.
+		bpTID := trace.TID{Start: seg.TID.Start}
+		for i := range seg.Insts {
+			in := seg.Insts[i].Inst
+			if in.Kind == isa.KindBranch {
+				bpTID = bpTID.WithDir(m.bp.Predict(in.PC))
+				m.counts.Add(energy.EvBPLookup, 1)
+			}
+		}
+		bpKey := bpTID.Key()
+		m.counts.Add(energy.EvTCLookup, 1)
+		if bpKey == key {
+			if t, hit := m.tc.Lookup(key); hit && m.traceMatches(t, seg) {
+				hot = true
+				tr = t
+			}
+		} else if t, hit := m.tc.Lookup(bpKey); hit {
+			m.traceAbort(t)
+		}
+	}
+	m.tp.Train(key, pred, predOK)
+	m.counts.Add(energy.EvTPredUpdate, 1)
+
+	if hot {
+		m.hotSegments++
+		m.execHot(seg, tr)
+	} else {
+		m.coldSegments++
+		m.execCold(seg)
+	}
+	m.lastSegHot = hot
+
+	m.background(seg, key, hot, tr)
+}
+
+// traceMatches guards against TID hash collisions and stale frames: the
+// resident trace must describe exactly this dynamic segment.
+func (m *Machine) traceMatches(tr *trace.Trace, seg *trace.Segment) bool {
+	if tr.NumInsts != seg.NumInsts() {
+		return false
+	}
+	memUops := 0
+	for _, d := range seg.Insts {
+		for _, u := range d.Inst.Uops {
+			if u.Op.IsMem() {
+				memUops++
+			}
+		}
+	}
+	return memUops == tr.MemOps
+}
+
+// traceAbort models a trace misprediction: the wrongly predicted trace
+// executes until its first failing assert, the accumulated state is flushed
+// and the architectural state at trace start restored (§2.3).
+func (m *Machine) traceAbort(tr *trace.Trace) {
+	m.traceAborts++
+	wasted := uint64(len(tr.Uops) / 2)
+	m.abortedUops += wasted
+	m.countsHot.Add(energy.EvTCReadUop, wasted)
+	m.countsHot.Add(energy.EvALU, wasted/2) // partial wrong-path execution
+	m.counts.Add(energy.EvFlushRecovery, 1)
+	m.fetchStallUntil = maxU64(m.fetchStallUntil, m.clock+uint64(m.model.FrontDepth)+wasted/4)
+}
+
+// background performs the post-processing phases on the committed segment.
+func (m *Machine) background(seg *trace.Segment, key uint64, hot bool, tr *trace.Trace) {
+	if hot {
+		tr.Executions++
+		if tr.Optimized {
+			m.optExecs++
+			m.dynUopsOrig += uint64(tr.OrigUops)
+			m.dynUopsOpt += uint64(len(tr.Uops))
+			m.dynCritOrig += uint64(tr.OrigCritPath)
+			m.dynCritOpt += uint64(tr.OptCritPath)
+			if m.optSeen == nil {
+				m.optSeen = make(map[uint64]struct{})
+			}
+			m.optSeen[key] = struct{}{}
+		} else if m.model.Optimize {
+			m.counts.Add(energy.EvBlazeFilter, 1)
+			if _, promoted := m.blazeF.Bump(key); promoted {
+				m.optimizeTrace(key, tr)
+			}
+		}
+		return
+	}
+
+	// Cold side: TID selection trains the hot filter; promotion constructs
+	// the trace and inserts it into the trace cache.
+	if m.tc.Probe(key) {
+		m.diagColdResident++
+		return
+	}
+	m.diagColdAbsent++
+	m.counts.Add(energy.EvHotFilter, 1)
+	if _, promoted := m.hotF.Bump(key); promoted {
+		t := trace.Build(seg)
+		m.tc.Insert(t)
+		m.buildCount++
+		m.counts.Add(energy.EvTraceBuildUop, uint64(len(t.Uops)))
+		m.counts.Add(energy.EvTCWriteUop, uint64(len(t.Uops)))
+	}
+}
+
+// optimizeTrace runs the dynamic optimizer on a blazing trace and writes it
+// back to the trace cache.
+func (m *Machine) optimizeTrace(key uint64, tr *trace.Trace) {
+	if m.clock < m.optBusyUntil {
+		// The non-pipelined optimizer is busy; let the trace re-promote on
+		// a later execution.
+		m.blazeF.Forget(key)
+		return
+	}
+	m.optBusyUntil = m.clock + opt.LatencyCycles
+	before := len(tr.Uops)
+	res := m.optz.Optimize(tr)
+	m.tc.Insert(tr) // write-back (replaces in place)
+	m.optCount++
+	m.uopsBefore += uint64(res.UopsBefore)
+	m.uopsAfter += uint64(res.UopsAfter)
+	m.critBefore += uint64(res.CritBefore)
+	m.critAfter += uint64(res.CritAfter)
+	// Optimizer datapath: several analysis/rewrite passes over the trace.
+	m.counts.Add(energy.EvOptimizeUop, uint64(before)*5)
+	m.counts.Add(energy.EvTCWriteUop, uint64(len(tr.Uops)))
+}
+
+func (m *Machine) String() string {
+	return fmt.Sprintf("machine(%s)", m.model.ID)
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"parrot/internal/branch"
+	"parrot/internal/config"
+	"parrot/internal/energy"
+	"parrot/internal/filter"
+	"parrot/internal/mem"
+	"parrot/internal/ooo"
+	"parrot/internal/tcache"
+	"parrot/internal/tpred"
+	"parrot/internal/workload"
+)
+
+// ResetStats zeroes all measurement state while keeping the machine warm:
+// cache contents, predictor tables, trace cache, filters and in-flight work
+// survive. Trace-driven studies measure steady state — the paper's 30–100M
+// instruction traces amortize compulsory effects that would otherwise
+// dominate shorter synthetic runs.
+func (m *Machine) ResetStats() {
+	m.counts = energy.Counts{}
+	m.countsHot = energy.Counts{}
+	m.cold.Stats = ooo.Stats{}
+	if m.model.Split {
+		m.hot.Stats = ooo.Stats{}
+	}
+	m.hier.Prefetches = 0
+	m.hier.L1I.Stats = mem.CacheStats{}
+	m.hier.L1D.Stats = mem.CacheStats{}
+	m.hier.L2.Stats = mem.CacheStats{}
+	m.bp.Stats = branch.Stats{}
+	m.btb.Stats = branch.Stats{}
+	m.ras.Stats = branch.Stats{}
+	if m.tp != nil {
+		m.tp.Stats = tpred.Stats{}
+	}
+	if m.tc != nil {
+		m.tc.Stats = tcache.Stats{}
+	}
+	if m.hotF != nil {
+		m.hotF.Stats = filter.Stats{}
+	}
+	if m.blazeF != nil {
+		m.blazeF.Stats = filter.Stats{}
+	}
+	m.clockStart = m.clock
+	m.insts = 0
+	m.hotInsts = 0
+	m.coldInsts = 0
+	m.traceAborts = 0
+	m.abortedUops = 0
+	m.optCount = 0
+	m.optExecs = 0
+	m.uopsBefore, m.uopsAfter = 0, 0
+	m.critBefore, m.critAfter = 0, 0
+	m.buildCount = 0
+	m.hotSegments, m.coldSegments = 0, 0
+	m.dynUopsOrig, m.dynUopsOpt = 0, 0
+	m.dynCritOrig, m.dynCritOpt = 0, 0
+	m.optSeen = nil
+	m.diagColdResident, m.diagColdAbsent = 0, 0
+	m.diagFetchStall, m.diagResolve = 0, 0
+	// Reset per-trace execution counters so Figure 4.10 reflects the
+	// measured window only.
+	if m.tc != nil {
+		for _, tr := range m.tc.Resident() {
+			tr.Executions = 0
+		}
+	}
+}
+
+// WarmupFraction is the share of each run used to warm caches, predictors
+// and the trace subsystem before statistics are measured.
+const WarmupFraction = 0.3
+
+// RunWarm executes an application with the standard warmup protocol:
+// the first WarmupFraction of the stream primes the machine, statistics
+// reset, and the remainder is measured.
+func RunWarm(model config.Model, prof workload.Profile, n int) *Result {
+	if n <= 0 {
+		n = prof.Instructions
+	}
+	m := New(model)
+	prog := workload.Generate(prof)
+	return m.RunSourceWarm(workload.NewStream(prog, n), prof, int(float64(n)*WarmupFraction))
+}
+
+// RunSourceWarm drives the machine from an arbitrary instruction source,
+// resetting statistics after the first warm instructions.
+func (m *Machine) RunSourceWarm(src InstSource, prof workload.Profile, warm int) *Result {
+	fed := 0
+	for {
+		d, ok := src.Next()
+		if !ok {
+			break
+		}
+		fed++
+		for _, seg := range m.sel.Feed(d) {
+			m.execSegment(&seg)
+		}
+		if fed == warm {
+			m.ResetStats()
+		}
+	}
+	for _, seg := range m.sel.Flush() {
+		m.execSegment(&seg)
+	}
+	for m.dqHead < len(m.dq) {
+		m.tick()
+	}
+	for m.cold.InFlight() > 0 || (m.model.Split && m.hot.InFlight() > 0) {
+		m.tick()
+	}
+	return m.collect(prof)
+}

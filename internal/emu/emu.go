@@ -1,0 +1,303 @@
+// Package emu implements an architectural emulator for straight-line uop
+// sequences.
+//
+// The emulator is the semantic oracle of the reproduction: the dynamic
+// optimizer (package opt) must transform a trace so that, for every initial
+// architectural state, executing the optimized uop sequence yields exactly
+// the same final state (registers, flags and memory) as the original. This
+// mirrors the paper's atomic-trace contract — a trace either commits its
+// full architectural effect or none of it — and gives us a machine-checkable
+// definition of "the overall semantics of the trace is preserved" (§2.1).
+//
+// Branch-class uops have no register or memory effect in straight-line
+// semantics; asserts additionally record whether the embedded trace
+// direction holds on the current flags, which the hot pipeline uses to
+// detect trace mispredictions.
+package emu
+
+import (
+	"fmt"
+	"math/rand"
+
+	"parrot/internal/isa"
+)
+
+// State is a complete architectural state: the register file (including the
+// flags register) and data memory. Memory is sparse; absent addresses read
+// as zero.
+type State struct {
+	Regs [isa.NumRegs]int64
+	Mem  map[uint64]int64
+}
+
+// NewState returns an all-zero architectural state.
+func NewState() *State {
+	return &State{Mem: make(map[uint64]int64)}
+}
+
+// RandState returns a state with registers and a few memory cells filled
+// from rng, for property-based testing.
+func RandState(rng *rand.Rand) *State {
+	s := NewState()
+	for i := range s.Regs {
+		s.Regs[i] = rng.Int63() - rng.Int63()
+	}
+	s.Regs[isa.RegFlags] &= 7 // flags hold only the three defined bits
+	for i := 0; i < 32; i++ {
+		s.Mem[uint64(rng.Intn(4096))*8] = rng.Int63() - rng.Int63()
+	}
+	return s
+}
+
+// Clone returns a deep copy of the state.
+func (s *State) Clone() *State {
+	c := &State{Regs: s.Regs, Mem: make(map[uint64]int64, len(s.Mem))}
+	for k, v := range s.Mem {
+		c.Mem[k] = v
+	}
+	return c
+}
+
+// Load reads memory at addr (zero if never written).
+func (s *State) Load(addr uint64) int64 { return s.Mem[addr] }
+
+// Store writes memory at addr. Storing zero removes the cell so that states
+// compare equal regardless of whether a zero was written or never touched.
+func (s *State) Store(addr uint64, v int64) {
+	if v == 0 {
+		delete(s.Mem, addr)
+		return
+	}
+	s.Mem[addr] = v
+}
+
+// Equal reports whether two states are architecturally identical.
+func (s *State) Equal(o *State) bool {
+	if s.Regs != o.Regs {
+		return false
+	}
+	if len(s.Mem) != len(o.Mem) {
+		return false
+	}
+	for k, v := range s.Mem {
+		if o.Mem[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Diff returns a human-readable description of the first difference between
+// two states, or "" when equal. Intended for test failure messages.
+func (s *State) Diff(o *State) string {
+	for i := range s.Regs {
+		if s.Regs[i] != o.Regs[i] {
+			return fmt.Sprintf("%v: %d != %d", isa.Reg(i), s.Regs[i], o.Regs[i])
+		}
+	}
+	for k, v := range s.Mem {
+		if ov := o.Mem[k]; ov != v {
+			return fmt.Sprintf("mem[%#x]: %d != %d", k, v, ov)
+		}
+	}
+	for k, ov := range o.Mem {
+		if _, ok := s.Mem[k]; !ok {
+			return fmt.Sprintf("mem[%#x]: 0 != %d", k, ov)
+		}
+	}
+	return ""
+}
+
+// aluEval computes a two-operand ALU operation. Immediate-form opcodes use
+// imm as the second operand. Shift amounts are masked to 6 bits; division by
+// zero yields zero, keeping every opcode total and deterministic.
+func aluEval(op isa.Op, a, b, imm int64) (int64, bool) {
+	switch op {
+	case isa.OpMov, isa.OpFMov:
+		return a, true
+	case isa.OpMovImm:
+		return imm, true
+	case isa.OpAdd, isa.OpFAdd:
+		return a + b, true
+	case isa.OpSub:
+		return a - b, true
+	case isa.OpAnd:
+		return a & b, true
+	case isa.OpOr:
+		return a | b, true
+	case isa.OpXor:
+		return a ^ b, true
+	case isa.OpShl:
+		return a << (uint64(b) & 63), true
+	case isa.OpShr:
+		return int64(uint64(a) >> (uint64(b) & 63)), true
+	case isa.OpAddImm:
+		return a + imm, true
+	case isa.OpSubImm:
+		return a - imm, true
+	case isa.OpAndImm:
+		return a & imm, true
+	case isa.OpOrImm:
+		return a | imm, true
+	case isa.OpXorImm:
+		return a ^ imm, true
+	case isa.OpShlImm:
+		return a << (uint64(imm) & 63), true
+	case isa.OpShrImm:
+		return int64(uint64(a) >> (uint64(imm) & 63)), true
+	case isa.OpMul, isa.OpFMul:
+		return a * b, true
+	case isa.OpDiv, isa.OpFDiv:
+		if b == 0 {
+			return 0, true
+		}
+		return a / b, true
+	}
+	return 0, false
+}
+
+// ALUEval exposes aluEval for the optimizer's constant folder. ok is false
+// when op is not a two-operand ALU operation.
+func ALUEval(op isa.Op, a, b, imm int64) (v int64, ok bool) {
+	return aluEval(op, a, b, imm)
+}
+
+// CompareFlags computes the flags value produced by a compare of a with b.
+func CompareFlags(a, b int64) int64 {
+	var f int64
+	if a == b {
+		f |= isa.FlagZ
+	}
+	if a < b {
+		f |= isa.FlagS
+	}
+	if uint64(a) < uint64(b) {
+		f |= isa.FlagC
+	}
+	return f
+}
+
+// TestFlags computes the flags value produced by a test (bitwise and) of a
+// with b.
+func TestFlags(a, b int64) int64 {
+	v := a & b
+	var f int64
+	if v == 0 {
+		f |= isa.FlagZ
+	}
+	if v < 0 {
+		f |= isa.FlagS
+	}
+	return f
+}
+
+// StepResult reports the outcome of executing one uop.
+type StepResult struct {
+	// AssertFailed is true when the uop was an assert whose embedded
+	// direction did not hold on the current flags (a trace misprediction).
+	AssertFailed bool
+}
+
+// Step executes a single uop against the state.
+func (s *State) Step(u *isa.Uop) (StepResult, error) {
+	var res StepResult
+	switch u.Op {
+	case isa.OpNop, isa.OpJmp, isa.OpJmpI, isa.OpCall, isa.OpRet:
+		// No architectural register/memory effect in straight-line semantics.
+
+	case isa.OpBr:
+		// Direction is architecturally determined by flags; no state effect.
+
+	case isa.OpAssert:
+		if u.Cond.Eval(s.Regs[isa.RegFlags]) != u.Taken {
+			res.AssertFailed = true
+		}
+
+	case isa.OpAssertJmpI:
+		// Target check is modelled at the pipeline level; no state effect.
+
+	case isa.OpLoad:
+		addr := uint64(s.Regs[u.Src[0]] + u.Imm)
+		s.Regs[u.Dst[0]] = s.Load(addr)
+
+	case isa.OpStore:
+		addr := uint64(s.Regs[u.Src[0]] + u.Imm)
+		s.Store(addr, s.Regs[u.Src[1]])
+
+	case isa.OpCmp:
+		s.Regs[isa.RegFlags] = CompareFlags(s.Regs[u.Src[0]], s.Regs[u.Src[1]])
+
+	case isa.OpCmpImm:
+		s.Regs[isa.RegFlags] = CompareFlags(s.Regs[u.Src[0]], u.Imm)
+
+	case isa.OpTest:
+		s.Regs[isa.RegFlags] = TestFlags(s.Regs[u.Src[0]], s.Regs[u.Src[1]])
+
+	case isa.OpFusedCmpBr:
+		// Register form compares Src0 with Src1; with Src1 absent the
+		// immediate form compares Src0 with Imm (fused cmpi+br).
+		b := u.Imm
+		if u.Src[1] != isa.RegNone {
+			b = s.Regs[u.Src[1]]
+		}
+		s.Regs[isa.RegFlags] = CompareFlags(s.Regs[u.Src[0]], b)
+		if u.Cond.Eval(s.Regs[isa.RegFlags]) != u.Taken {
+			res.AssertFailed = true
+		}
+
+	case isa.OpFusedAluAlu, isa.OpFusedFP:
+		tmp, ok := aluEval(u.SubOps[0], s.Regs[u.Src[0]], srcOrZero(s, u, 1), u.Imm)
+		if !ok {
+			return res, fmt.Errorf("emu: bad fused sub-op %v in %v", u.SubOps[0], u)
+		}
+		v, ok := aluEval(u.SubOps[1], tmp, srcOrZero(s, u, 2), u.Imm)
+		if !ok {
+			return res, fmt.Errorf("emu: bad fused sub-op %v in %v", u.SubOps[1], u)
+		}
+		s.Regs[u.Dst[0]] = v
+
+	case isa.OpSimd2:
+		v0, ok := aluEval(u.SubOps[0], s.Regs[u.Src[0]], srcOrZero(s, u, 1), u.Imm)
+		if !ok {
+			return res, fmt.Errorf("emu: bad simd sub-op %v in %v", u.SubOps[0], u)
+		}
+		v1, ok := aluEval(u.SubOps[0], s.Regs[u.Src[2]], srcOrZero(s, u, 3), u.Imm)
+		if !ok {
+			return res, fmt.Errorf("emu: bad simd sub-op %v in %v", u.SubOps[0], u)
+		}
+		s.Regs[u.Dst[0]] = v0
+		s.Regs[u.Dst[1]] = v1
+
+	default:
+		a := srcOrZero(s, u, 0)
+		b := srcOrZero(s, u, 1)
+		v, ok := aluEval(u.Op, a, b, u.Imm)
+		if !ok {
+			return res, fmt.Errorf("emu: unimplemented opcode %v", u.Op)
+		}
+		s.Regs[u.Dst[0]] = v
+	}
+	return res, nil
+}
+
+func srcOrZero(s *State, u *isa.Uop, i int) int64 {
+	if u.Src[i] == isa.RegNone {
+		return 0
+	}
+	return s.Regs[u.Src[i]]
+}
+
+// Run executes uops in order, ignoring assert outcomes (straight-line
+// semantics). It returns the number of failed asserts encountered.
+func (s *State) Run(uops []isa.Uop) (assertFails int, err error) {
+	for i := range uops {
+		res, err := s.Step(&uops[i])
+		if err != nil {
+			return assertFails, fmt.Errorf("uop %d: %w", i, err)
+		}
+		if res.AssertFailed {
+			assertFails++
+		}
+	}
+	return assertFails, nil
+}

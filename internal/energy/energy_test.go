@@ -1,0 +1,136 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventNamesTotal(t *testing.T) {
+	for e := Event(0); e < NumEvents; e++ {
+		if e.String() == "event?" || e.String() == "" {
+			t.Errorf("event %d unnamed", e)
+		}
+		if baseCost[e] <= 0 {
+			t.Errorf("event %v has no base cost", e)
+		}
+	}
+	for c := Component(0); c < NumComponents; c++ {
+		if c.String() == "component?" {
+			t.Errorf("component %d unnamed", c)
+		}
+	}
+}
+
+func TestReferenceModelMatchesBaseCosts(t *testing.T) {
+	m := NewModel(ReferenceParams())
+	for e := Event(0); e < NumEvents; e++ {
+		if math.Abs(m.Cost(e)-baseCost[e]) > 1e-12 {
+			t.Errorf("reference cost of %v = %v, want %v", e, m.Cost(e), baseCost[e])
+		}
+	}
+}
+
+func TestWideModelCostsMore(t *testing.T) {
+	wide := NewModel(Params{Width: 8, DecodeWidth: 8, IQSize: 64, ROBSize: 256, BPEntries: 4096})
+	ref := NewModel(ReferenceParams())
+	for _, e := range []Event{EvDecodeSimple, EvDecodeComplex, EvRename, EvWakeup, EvSelect, EvRegRead, EvROBWrite} {
+		if wide.Cost(e) <= ref.Cost(e) {
+			t.Errorf("wide %v cost %v not above reference %v", e, wide.Cost(e), ref.Cost(e))
+		}
+	}
+	// Decode scales superlinearly: width^1.35 means a 2x wider decoder
+	// costs 2^1.35 ≈ 2.55x per instruction.
+	if r := wide.Cost(EvDecodeSimple) / ref.Cost(EvDecodeSimple); r < 2.3 || r > 2.8 {
+		t.Errorf("decode scaling ratio = %v", r)
+	}
+	// Execution units are per-op constants.
+	if wide.Cost(EvALU) != ref.Cost(EvALU) {
+		t.Error("ALU op energy must not scale with width")
+	}
+}
+
+func TestEnergyLinearInCounts(t *testing.T) {
+	m := NewModel(ReferenceParams())
+	f := func(n uint8) bool {
+		var c Counts
+		c.Add(EvALU, uint64(n))
+		return math.Abs(m.Energy(&c)-float64(n)*m.Cost(EvALU)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEnergyMonotoneInCounts(t *testing.T) {
+	m := NewModel(ReferenceParams())
+	var a, b Counts
+	a.Add(EvL1DAccess, 10)
+	b = a
+	b.Add(EvL2Access, 1)
+	if m.Energy(&b) <= m.Energy(&a) {
+		t.Error("adding events must increase energy")
+	}
+}
+
+func TestAddCounts(t *testing.T) {
+	var a, b Counts
+	a.Add(EvALU, 3)
+	b.Add(EvALU, 4)
+	b.Add(EvMul, 1)
+	a.AddCounts(&b)
+	if a[EvALU] != 7 || a[EvMul] != 1 {
+		t.Errorf("merge: %v %v", a[EvALU], a[EvMul])
+	}
+}
+
+func TestBreakdownSumsToTotal(t *testing.T) {
+	m := NewModel(ReferenceParams())
+	var c Counts
+	for e := Event(0); e < NumEvents; e++ {
+		c.Add(e, uint64(e)+1)
+	}
+	parts := m.Breakdown(&c)
+	sum := 0.0
+	for _, p := range parts {
+		sum += p
+	}
+	if math.Abs(sum-m.Energy(&c)) > 1e-6 {
+		t.Errorf("breakdown sum %v != total %v", sum, m.Energy(&c))
+	}
+	if parts[CompFrontEnd] == 0 || parts[CompTraceManip] == 0 {
+		t.Error("expected nonzero component buckets")
+	}
+}
+
+func TestLeakageFormula(t *testing.T) {
+	// LE = Pmax * (0.05*M + 0.4*K) * CYC, exactly as §3.2.
+	got := Leakage(10, 1, 1, 1000)
+	want := 10 * (0.05*1 + 0.4*1) * 1000
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("leakage = %v, want %v", got, want)
+	}
+	// Doubling core area K doubles the core term.
+	k2 := Leakage(10, 0, 2, 1000)
+	k1 := Leakage(10, 0, 1, 1000)
+	if math.Abs(k2-2*k1) > 1e-9 {
+		t.Error("leakage must be linear in K")
+	}
+}
+
+func TestCMPWRatios(t *testing.T) {
+	// Same instructions: +45% IPC (fewer cycles) and +39% energy must give
+	// the paper's ~+51% CMPW (the TOW vs N headline).
+	insts := uint64(1_000_000)
+	baseCycles := uint64(1_000_000)
+	base := CMPW(insts, baseCycles, 1e6)
+	towCycles := uint64(float64(baseCycles) / 1.45)
+	tow := CMPW(insts, towCycles, 1.39e6)
+	ratio := tow / base
+	if ratio < 1.45 || ratio > 1.58 {
+		t.Errorf("CMPW ratio = %v, want ≈1.51", ratio)
+	}
+	if CMPW(1, 0, 1) != 0 || CMPW(1, 1, 0) != 0 {
+		t.Error("degenerate CMPW must be 0")
+	}
+}

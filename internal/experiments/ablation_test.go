@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"parrot/internal/config"
+	"parrot/internal/core"
+	"parrot/internal/opt"
+	"parrot/internal/workload"
+)
+
+func studyApps(t *testing.T) []workload.Profile {
+	t.Helper()
+	var apps []workload.Profile
+	for _, name := range []string{"swim", "flash"} {
+		p, ok := workload.ByName(name)
+		if !ok {
+			t.Fatal(name)
+		}
+		apps = append(apps, p)
+	}
+	return apps
+}
+
+func TestAblationVariantsLadder(t *testing.T) {
+	vs := AblationVariants()
+	if len(vs) != 5 {
+		t.Fatalf("variants = %d", len(vs))
+	}
+	if vs[0].Cfg != (opt.Config{}) {
+		t.Error("first variant must disable everything")
+	}
+	if !vs[len(vs)-1].Cfg.General || !vs[len(vs)-1].Cfg.Schedule {
+		t.Error("last variant must be the full optimizer")
+	}
+}
+
+func TestAblationMonotoneIPC(t *testing.T) {
+	apps := studyApps(t)
+	// Each added pass class must not hurt IPC on optimizer-friendly apps.
+	var prev float64
+	for i, v := range AblationVariants() {
+		m := config.Get(config.TON)
+		if v.Name == "none" {
+			m = config.Get(config.TN)
+		} else {
+			m.OptConfig = v.Cfg
+		}
+		sum := 0.0
+		for _, p := range apps {
+			sum += core.RunWarm(m, p, 40_000).IPC()
+		}
+		if i > 0 && sum < prev*0.995 {
+			t.Errorf("variant %q lowered IPC: %v -> %v", v.Name, prev, sum)
+		}
+		prev = sum
+	}
+}
+
+func TestAblationTableRenders(t *testing.T) {
+	out := Ablation(studyApps(t), 30_000).String()
+	for _, want := range []string{"none (TN)", "general", "full", "uop reduction"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablation table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBlazingSensitivityShape(t *testing.T) {
+	apps := studyApps(t)
+	// Low threshold optimizes more of the hot stream than a huge one.
+	low := config.Get(config.TON)
+	low.BlazeThreshold = 4
+	high := config.Get(config.TON)
+	high.BlazeThreshold = 1 << 20
+	for _, p := range apps {
+		rl := core.RunWarm(low, p, 40_000)
+		rh := core.RunWarm(high, p, 40_000)
+		if rl.OptExecs <= rh.OptExecs {
+			t.Errorf("%s: blazing threshold had no effect (%d vs %d optimized executions)",
+				p.Name, rl.OptExecs, rh.OptExecs)
+		}
+		if rl.IPC() <= rh.IPC() {
+			t.Errorf("%s: optimizing more traces did not help IPC", p.Name)
+		}
+	}
+	out := BlazingSensitivity(apps, 30_000, []uint32{8, 256}).String()
+	if !strings.Contains(out, "threshold") {
+		t.Error("sensitivity table malformed")
+	}
+}
+
+func TestTCSizeSensitivityShape(t *testing.T) {
+	// Loop-rich integer/office apps have the larger trace working sets;
+	// swim's handful of dominant loops fits even a 4-frame cache.
+	var apps []workload.Profile
+	for _, name := range []string{"gcc", "word"} {
+		p, _ := workload.ByName(name)
+		apps = append(apps, p)
+	}
+	small := config.Get(config.TON)
+	small.TCFrames = 4
+	big := config.Get(config.TON)
+	big.TCFrames = 512
+	for _, p := range apps {
+		rs := core.RunWarm(small, p, 40_000)
+		rb := core.RunWarm(big, p, 40_000)
+		if rs.Coverage() >= rb.Coverage() {
+			t.Errorf("%s: 4-frame trace cache should lose coverage (%.2f vs %.2f)",
+				p.Name, rs.Coverage(), rb.Coverage())
+		}
+	}
+	out := TCSizeSensitivity(apps, 30_000, []int{4, 64}).String()
+	if !strings.Contains(out, "frames") {
+		t.Error("sensitivity table malformed")
+	}
+}
+
+func TestSplitCoreStudyRenders(t *testing.T) {
+	out := SplitCoreStudy(studyApps(t), 30_000).String()
+	for _, want := range []string{"TON (unified 4)", "TOS 4+6", "TOS 4+8", "TOW (unified 8)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("split study missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSplitWithHotWidthScaling(t *testing.T) {
+	m := splitWithHotWidth(6, 1.55)
+	if m.HotCore.Width != 6 || m.HotCore.IssueWidth != 6 {
+		t.Errorf("hot core width = %d", m.HotCore.Width)
+	}
+	if m.HotCore.ROBSize >= config.Get(config.TOS).HotCore.ROBSize {
+		t.Error("narrower hot core must shrink the window")
+	}
+	if !m.Split || m.Core.Width != 4 {
+		t.Error("cold core must stay narrow")
+	}
+}

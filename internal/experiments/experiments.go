@@ -1,0 +1,164 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§4): it runs the model × application matrix and derives the
+// exact series each figure plots. EXPERIMENTS.md records paper-reported
+// versus measured values.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"parrot/internal/config"
+	"parrot/internal/core"
+	"parrot/internal/workload"
+)
+
+// Config parameterizes an experiment run.
+type Config struct {
+	// Insts is the dynamic instruction count per application (0 = profile
+	// default). The paper uses 30–100M-instruction traces; the synthetic
+	// reproduction defaults to a scaled-down but distribution-stable count.
+	Insts int
+
+	// Apps restricts the benchmark roster (nil = all 44).
+	Apps []workload.Profile
+
+	// Models restricts the configuration set (nil = all seven).
+	Models []config.Model
+
+	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+// Results holds the complete model × application result matrix.
+type Results struct {
+	cfg     Config
+	byModel map[config.ModelID]map[string]*core.Result
+	apps    []workload.Profile
+
+	// PMax is the highest average dynamic power of the base model N across
+	// the suite — the anchor of the leakage formula (§3.2). The paper
+	// identifies swim as this application.
+	PMax    float64
+	PMaxApp string
+}
+
+// Run executes the full experiment matrix deterministically (each
+// model/application simulation is independent; parallel execution does not
+// change any result).
+func Run(cfg Config) *Results {
+	apps := cfg.Apps
+	if apps == nil {
+		apps = workload.Apps()
+	}
+	models := cfg.Models
+	if models == nil {
+		models = config.All()
+	}
+	par := cfg.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+
+	res := &Results{
+		cfg:     cfg,
+		byModel: make(map[config.ModelID]map[string]*core.Result),
+		apps:    apps,
+	}
+	for _, m := range models {
+		res.byModel[m.ID] = make(map[string]*core.Result)
+	}
+
+	type job struct {
+		model config.Model
+		prof  workload.Profile
+	}
+	jobs := make(chan job)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				r := core.RunWarm(j.model, j.prof, cfg.Insts)
+				mu.Lock()
+				res.byModel[j.model.ID][j.prof.Name] = r
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, m := range models {
+		for _, p := range apps {
+			jobs <- job{m, p}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	// Leakage anchor: P_MAX of the base model.
+	if nres, ok := res.byModel[config.N]; ok {
+		for app, r := range nres {
+			if p := r.AvgDynPower(); p > res.PMax {
+				res.PMax = p
+				res.PMaxApp = app
+			}
+		}
+	}
+	return res
+}
+
+// Get returns the result for one model/application pair.
+func (r *Results) Get(id config.ModelID, app string) *core.Result {
+	return r.byModel[id][app]
+}
+
+// Apps returns the benchmark roster of this run.
+func (r *Results) Apps() []workload.Profile { return r.apps }
+
+// Models returns the model IDs present.
+func (r *Results) Models() []config.ModelID {
+	out := make([]config.ModelID, 0, len(r.byModel))
+	for _, m := range config.All() {
+		if _, ok := r.byModel[m.ID]; ok {
+			out = append(out, m.ID)
+		}
+	}
+	return out
+}
+
+// TotalEnergy returns total (dynamic + leakage) energy of a run.
+func (r *Results) TotalEnergy(id config.ModelID, app string) float64 {
+	res := r.Get(id, app)
+	if res == nil {
+		return 0
+	}
+	return res.TotalEnergy(r.PMax)
+}
+
+// CMPW returns the cubic-MIPS-per-watt metric of a run.
+func (r *Results) CMPW(id config.ModelID, app string) float64 {
+	res := r.Get(id, app)
+	if res == nil {
+		return 0
+	}
+	return res.CMPW(r.PMax)
+}
+
+// groupsOf returns the presentation groups of an application: its suite,
+// plus "killer" membership is handled separately by the figure code.
+func groupsOf(p workload.Profile) string { return p.Suite.String() }
+
+// killer reports whether the app is one of the three highlighted killer
+// applications.
+func killer(name string) bool {
+	for _, k := range workload.KillerApps() {
+		if k == name {
+			return true
+		}
+	}
+	return false
+}
+
+func fmtPct(v float64) string { return fmt.Sprintf("%+.1f%%", (v-1)*100) }

@@ -1,0 +1,244 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"parrot/internal/config"
+	"parrot/internal/workload"
+)
+
+// smallRun executes a reduced matrix shared by the tests in this package:
+// five representative applications (one per suite) on all models.
+var smallRunCache *Results
+
+func smallRun(t *testing.T) *Results {
+	t.Helper()
+	if smallRunCache != nil {
+		return smallRunCache
+	}
+	var apps []workload.Profile
+	for _, name := range []string{"gcc", "swim", "word", "flash", "dotnet-num1"} {
+		p, ok := workload.ByName(name)
+		if !ok {
+			t.Fatalf("unknown app %s", name)
+		}
+		apps = append(apps, p)
+	}
+	smallRunCache = Run(Config{Insts: 60_000, Apps: apps})
+	return smallRunCache
+}
+
+func TestMatrixComplete(t *testing.T) {
+	res := smallRun(t)
+	if len(res.Models()) != 7 {
+		t.Fatalf("models = %d", len(res.Models()))
+	}
+	for _, id := range res.Models() {
+		for _, p := range res.Apps() {
+			r := res.Get(id, p.Name)
+			if r == nil || r.Insts == 0 {
+				t.Errorf("missing result %s/%s", id, p.Name)
+			}
+		}
+	}
+	if res.PMax <= 0 || res.PMaxApp == "" {
+		t.Error("P_MAX anchor not derived")
+	}
+}
+
+func TestParallelismIsDeterministic(t *testing.T) {
+	p, _ := workload.ByName("gzip")
+	apps := []workload.Profile{p}
+	models := []config.Model{config.Get(config.N), config.Get(config.TON)}
+	a := Run(Config{Insts: 20_000, Apps: apps, Models: models, Parallelism: 1})
+	b := Run(Config{Insts: 20_000, Apps: apps, Models: models, Parallelism: 4})
+	for _, id := range []config.ModelID{config.N, config.TON} {
+		ra, rb := a.Get(id, "gzip"), b.Get(id, "gzip")
+		if ra.Cycles != rb.Cycles || ra.DynEnergy != rb.DynEnergy {
+			t.Errorf("%s: parallel run differs from serial", id)
+		}
+	}
+}
+
+func TestAllFiguresRender(t *testing.T) {
+	res := smallRun(t)
+	figs := res.AllFigures()
+	if len(figs) != 11 {
+		t.Fatalf("figures = %d, want 11 (4.1 through 4.11)", len(figs))
+	}
+	for _, f := range figs {
+		if f.Table == nil || len(f.Values) == 0 {
+			t.Errorf("%s: empty figure", f.ID)
+		}
+		out := f.Table.String()
+		if !strings.Contains(out, f.ID) {
+			t.Errorf("%s: table missing its identifier", f.ID)
+		}
+	}
+}
+
+// TestHeadlineShapes verifies the qualitative claims of §4 on the reduced
+// matrix. Bands are wide: the full EXPERIMENTS.md run uses all 44 apps.
+func TestHeadlineShapes(t *testing.T) {
+	res := smallRun(t)
+	f44 := res.Fig44()
+	f45 := res.Fig45()
+
+	ipc := func(m string) float64 { return f44.Values[m]["Overall"] }
+	en := func(m string) float64 { return f45.Values[m]["Overall"] }
+
+	// Widening helps performance but costs much more energy.
+	if ipc("W") < 1.08 {
+		t.Errorf("W/N IPC = %v, expected a clear gain", ipc("W"))
+	}
+	if en("W") < 1.4 {
+		t.Errorf("W/N energy = %v, expected ~1.7x", en("W"))
+	}
+	// The trace cache alone adds little performance.
+	if ipc("TN") > 1.08 {
+		t.Errorf("TN/N IPC = %v, should be marginal", ipc("TN"))
+	}
+	// PARROT optimization delivers performance at far lower energy than
+	// widening.
+	if ipc("TON") < 1.05 {
+		t.Errorf("TON/N IPC = %v, expected a solid gain", ipc("TON"))
+	}
+	if en("TON") > 1.15 {
+		t.Errorf("TON/N energy = %v, must stay near the narrow budget", en("TON"))
+	}
+	if en("TON") > en("W")*0.75 {
+		t.Errorf("TON energy %v should massively undercut W %v", en("TON"), en("W"))
+	}
+	// The full-blown machine stacks both.
+	if ipc("TOW") <= ipc("W") {
+		t.Errorf("TOW IPC %v must exceed W %v", ipc("TOW"), ipc("W"))
+	}
+	if en("TOW") >= en("TW") {
+		t.Errorf("TOW energy %v must undercut TW %v (optimizer saves work)", en("TOW"), en("TW"))
+	}
+
+	// CMPW: PARROT improves power awareness over both baselines.
+	f43 := res.Fig43()
+	if f43.Values["TON"]["Overall"] < 1.1 || f43.Values["TOW"]["Overall"] < 1.1 {
+		t.Errorf("CMPW gains too small: TON %v TOW %v",
+			f43.Values["TON"]["Overall"], f43.Values["TOW"]["Overall"])
+	}
+}
+
+func TestFig47Shape(t *testing.T) {
+	res := smallRun(t)
+	f := res.Fig47()
+	for _, grp := range []string{"Overall", "SpecFP"} {
+		nBr := f.Values["N-branch"][grp]
+		cold := f.Values["TON-cold-branch"][grp]
+		hot := f.Values["TON-hot-trace"][grp]
+		if !(hot < cold) {
+			t.Errorf("%s: hot trace MR %v must undercut cold branch MR %v", grp, hot, cold)
+		}
+		if !(nBr < cold) {
+			t.Errorf("%s: N branch MR %v should sit below the cold residue %v", grp, nBr, cold)
+		}
+	}
+}
+
+func TestFig48Shape(t *testing.T) {
+	res := smallRun(t)
+	f := res.Fig48()
+	fp := f.Values["coverage"]["SpecFP"]
+	in := f.Values["coverage"]["SpecInt"]
+	if fp < 0.8 {
+		t.Errorf("FP coverage = %v, paper reports ~0.9", fp)
+	}
+	if in >= fp {
+		t.Errorf("integer coverage %v must trail FP %v", in, fp)
+	}
+}
+
+func TestFig49Bands(t *testing.T) {
+	res := smallRun(t)
+	f := res.Fig49()
+	uop := f.Values["uop-reduction"]["Overall"]
+	dep := f.Values["dep-reduction"]["Overall"]
+	if uop < 0.15 || uop > 0.45 {
+		t.Errorf("uop reduction = %v, outside plausible band around the paper's 19%%", uop)
+	}
+	if dep < 0.02 || dep > 0.30 {
+		t.Errorf("dependency reduction = %v, outside band around the paper's 8%%", dep)
+	}
+}
+
+func TestFig410Shape(t *testing.T) {
+	res := smallRun(t)
+	f := res.Fig410()
+	fp := f.Values["executions-per-trace"]["SpecFP"]
+	overall := f.Values["executions-per-trace"]["Overall"]
+	if fp < overall {
+		t.Errorf("FP reuse %v must lead the mean %v (paper Figure 4.10)", fp, overall)
+	}
+	if overall < 10 {
+		t.Errorf("optimizer work reused only %vx — the blazing threshold should guarantee more", overall)
+	}
+}
+
+func TestFig411Shape(t *testing.T) {
+	res := smallRun(t)
+	f := res.Fig411()
+	// Front-end energy share must shrink from N to TON (decoded traces) on
+	// every breakdown app.
+	for _, app := range Fig411Apps {
+		n := f.Values[app+"/N"]["front-end"]
+		ton := f.Values[app+"/TON"]["front-end"]
+		if ton >= n {
+			t.Errorf("%s: front-end share %v (TON) must shrink from %v (N)", app, ton, n)
+		}
+	}
+	// Trace manipulation stays a modest share of total energy.
+	for _, app := range Fig411Apps {
+		if share := res.TraceManipulationShare(config.TON, app); share > 0.2 {
+			t.Errorf("%s: trace manipulation share = %v, paper reports order 10%%", app, share)
+		}
+	}
+}
+
+func TestTablesRender(t *testing.T) {
+	t31 := Table31().String()
+	for _, want := range []string{"N", "TON", "TOS", "narrow", "wide", "split"} {
+		if !strings.Contains(t31, want) {
+			t.Errorf("Table 3.1 missing %q", want)
+		}
+	}
+	t32 := Table32().String()
+	for _, want := range []string{"model", "ROB", "TOW", "512", "area K"} {
+		if !strings.Contains(t32, want) {
+			t.Errorf("Table 3.2 missing %q", want)
+		}
+	}
+}
+
+func TestKillerAppsLead(t *testing.T) {
+	// The killer applications must show above-average TON gains.
+	res := smallRun(t)
+	f := res.Fig41()
+	overall := f.Values["TON"]["Overall"]
+	if flash := f.Values["TON"]["flash"]; flash < overall {
+		t.Errorf("flash TON gain %v below overall %v", flash, overall)
+	}
+}
+
+func TestJSONExport(t *testing.T) {
+	res := smallRun(t)
+	var buf strings.Builder
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"pMaxApp"`, `"runs"`, `"ipc"`, `"TON"`, `"swim"`, `"coverage"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON export missing %s", want)
+		}
+	}
+	if n := strings.Count(out, `"model"`); n != len(res.Models())*len(res.Apps()) {
+		t.Errorf("JSON has %d runs, want %d", n, len(res.Models())*len(res.Apps()))
+	}
+}

@@ -1,0 +1,295 @@
+package experiments
+
+import (
+	"fmt"
+
+	"parrot/internal/config"
+	"parrot/internal/energy"
+	"parrot/internal/metrics"
+	"parrot/internal/workload"
+)
+
+// Figure is one reproduced table or figure: a rendered text table plus the
+// raw series for programmatic checks (tests and EXPERIMENTS.md).
+type Figure struct {
+	ID      string
+	Caption string
+	Table   *metrics.Table
+	// Values maps series name → group name → value.
+	Values map[string]map[string]float64
+}
+
+// groupOrder is the presentation order: suites, overall mean, killer apps.
+func (r *Results) groupOrder() []string {
+	out := []string{}
+	for s := workload.Suite(0); s < workload.NumSuites; s++ {
+		out = append(out, s.String())
+	}
+	out = append(out, "Overall")
+	for _, k := range workload.KillerApps() {
+		out = append(out, k)
+	}
+	return out
+}
+
+// series computes grouped geomeans of a per-app metric: per suite, overall,
+// and the killer applications individually.
+func (r *Results) series(metric func(app workload.Profile) float64) map[string]float64 {
+	g := metrics.NewGrouped()
+	out := make(map[string]float64)
+	for _, p := range r.apps {
+		v := metric(p)
+		g.Add(groupsOf(p), v)
+		if killer(p.Name) {
+			out[p.Name] = v
+		}
+	}
+	for _, grp := range g.Groups() {
+		out[grp] = g.Geomean(grp)
+	}
+	out["Overall"] = g.Overall()
+	return out
+}
+
+// ratioFigure builds a figure of per-model metric ratios against a baseline
+// chooser.
+func (r *Results) ratioFigure(id, caption string, models []config.ModelID,
+	metric func(id config.ModelID, app string) float64,
+	baseOf func(m config.ModelID) config.ModelID) *Figure {
+
+	fig := &Figure{ID: id, Caption: caption, Values: map[string]map[string]float64{}}
+	groups := r.groupOrder()
+	cols := append([]string{"group"}, func() []string {
+		out := []string{}
+		for _, m := range models {
+			out = append(out, string(m))
+		}
+		return out
+	}()...)
+	fig.Table = metrics.NewTable(fmt.Sprintf("%s  %s", id, caption), cols...)
+
+	for _, m := range models {
+		base := baseOf(m)
+		fig.Values[string(m)] = r.series(func(p workload.Profile) float64 {
+			return metrics.Ratio(metric(m, p.Name), metric(base, p.Name))
+		})
+	}
+	for _, grp := range groups {
+		cells := []string{grp}
+		for _, m := range models {
+			cells = append(cells, metrics.Pct(fig.Values[string(m)][grp]))
+		}
+		fig.Table.AddRow(cells...)
+	}
+	return fig
+}
+
+func (r *Results) ipc(id config.ModelID, app string) float64 {
+	if res := r.Get(id, app); res != nil {
+		return res.IPC()
+	}
+	return 0
+}
+
+// sameWidthModels returns the PARROT extensions with their same-width
+// baselines (Figures 4.1–4.3).
+func sameWidth(m config.ModelID) config.ModelID {
+	cfg := config.Get(m)
+	return cfg.SameWidthBaseline()
+}
+
+func vsN(config.ModelID) config.ModelID { return config.N }
+
+// Fig41 reproduces Figure 4.1: IPC improvement over the baseline of the
+// same width (TN, TON over N; TW, TOW over W).
+func (r *Results) Fig41() *Figure {
+	return r.ratioFigure("Fig 4.1", "IPC improvement over baseline of same width",
+		[]config.ModelID{config.TN, config.TON, config.TW, config.TOW}, r.ipc, sameWidth)
+}
+
+// Fig42 reproduces Figure 4.2: increased total energy consumption over the
+// baseline of the same width.
+func (r *Results) Fig42() *Figure {
+	return r.ratioFigure("Fig 4.2", "increased energy consumption over baseline",
+		[]config.ModelID{config.TN, config.TON, config.TW, config.TOW}, r.TotalEnergy, sameWidth)
+}
+
+// Fig43 reproduces Figure 4.3: improved power awareness (CMPW) over the
+// baseline of the same width.
+func (r *Results) Fig43() *Figure {
+	return r.ratioFigure("Fig 4.3", "improved power-awareness (CMPW) over baseline",
+		[]config.ModelID{config.TN, config.TON, config.TW, config.TOW}, r.CMPW, sameWidth)
+}
+
+// mainModels are the six models of the headline comparison, in the paper's
+// order.
+func (r *Results) mainModels() []config.ModelID {
+	models := []config.ModelID{}
+	for _, id := range []config.ModelID{config.TN, config.TON, config.W, config.TW, config.TOW, config.TOS} {
+		if _, ok := r.byModel[id]; ok {
+			models = append(models, id)
+		}
+	}
+	return models
+}
+
+// Fig44 reproduces Figure 4.4: IPC of every model relative to N.
+func (r *Results) Fig44() *Figure {
+	return r.ratioFigure("Fig 4.4", "IPC relative to the narrow baseline N",
+		r.mainModels(), r.ipc, vsN)
+}
+
+// Fig45 reproduces Figure 4.5: total energy of every model relative to N.
+func (r *Results) Fig45() *Figure {
+	return r.ratioFigure("Fig 4.5", "total energy relative to the narrow baseline N",
+		r.mainModels(), r.TotalEnergy, vsN)
+}
+
+// Fig46 reproduces Figure 4.6: CMPW of every model relative to N.
+func (r *Results) Fig46() *Figure {
+	return r.ratioFigure("Fig 4.6", "power-awareness (CMPW) relative to N",
+		r.mainModels(), r.CMPW, vsN)
+}
+
+// Fig47 reproduces Figure 4.7: misprediction rates — the baseline N branch
+// predictor versus the PARROT TON machine's cold-code branch predictor and
+// hot-code trace predictor.
+func (r *Results) Fig47() *Figure {
+	fig := &Figure{ID: "Fig 4.7", Caption: "branch/trace misprediction (N vs TON cold/hot)",
+		Values: map[string]map[string]float64{}}
+	fig.Values["N-branch"] = r.series(func(p workload.Profile) float64 {
+		return r.Get(config.N, p.Name).BranchStats.MispredictRate()
+	})
+	fig.Values["TON-cold-branch"] = r.series(func(p workload.Profile) float64 {
+		return r.Get(config.TON, p.Name).BranchStats.MispredictRate()
+	})
+	fig.Values["TON-hot-trace"] = r.series(func(p workload.Profile) float64 {
+		return r.Get(config.TON, p.Name).TPredStats.MispredictRate()
+	})
+	fig.Table = metrics.NewTable("Fig 4.7  misprediction rates",
+		"group", "N branch", "TON cold branch", "TON hot trace")
+	for _, grp := range r.groupOrder() {
+		fig.Table.AddRow(grp,
+			fmt.Sprintf("%.3f", fig.Values["N-branch"][grp]),
+			fmt.Sprintf("%.3f", fig.Values["TON-cold-branch"][grp]),
+			fmt.Sprintf("%.3f", fig.Values["TON-hot-trace"][grp]))
+	}
+	return fig
+}
+
+// Fig48 reproduces Figure 4.8: trace coverage — the fraction of committed
+// instructions executed on the hot pipeline (TON).
+func (r *Results) Fig48() *Figure {
+	fig := &Figure{ID: "Fig 4.8", Caption: "coverage: instructions fetched from the trace cache (TON)",
+		Values: map[string]map[string]float64{}}
+	fig.Values["coverage"] = r.series(func(p workload.Profile) float64 {
+		return r.Get(config.TON, p.Name).Coverage()
+	})
+	fig.Table = metrics.NewTable("Fig 4.8  trace coverage (TON)", "group", "coverage")
+	for _, grp := range r.groupOrder() {
+		fig.Table.AddRow(grp, fmt.Sprintf("%.2f", fig.Values["coverage"][grp]))
+	}
+	return fig
+}
+
+// Fig49 reproduces Figure 4.9: the optimizer's execution-weighted uop
+// reduction and dependency-path reduction (TOW).
+func (r *Results) Fig49() *Figure {
+	fig := &Figure{ID: "Fig 4.9", Caption: "optimizer impact (TOW): uop and dependency reduction",
+		Values: map[string]map[string]float64{}}
+	fig.Values["uop-reduction"] = r.series(func(p workload.Profile) float64 {
+		return r.Get(config.TOW, p.Name).UopReduction()
+	})
+	fig.Values["dep-reduction"] = r.series(func(p workload.Profile) float64 {
+		return r.Get(config.TOW, p.Name).CritReduction()
+	})
+	fig.Table = metrics.NewTable("Fig 4.9  optimizer impact (TOW)",
+		"group", "uop reduction", "dependency reduction")
+	for _, grp := range r.groupOrder() {
+		fig.Table.AddRow(grp,
+			fmt.Sprintf("%.1f%%", 100*fig.Values["uop-reduction"][grp]),
+			fmt.Sprintf("%.1f%%", 100*fig.Values["dep-reduction"][grp]))
+	}
+	return fig
+}
+
+// Fig410 reproduces Figure 4.10: utilization of the optimizer's work — mean
+// dynamic executions per optimized trace (TOW).
+func (r *Results) Fig410() *Figure {
+	fig := &Figure{ID: "Fig 4.10", Caption: "utilization of optimized traces (TOW)",
+		Values: map[string]map[string]float64{}}
+	fig.Values["executions-per-trace"] = r.series(func(p workload.Profile) float64 {
+		return r.Get(config.TOW, p.Name).OptimizedTraceUtilization()
+	})
+	fig.Table = metrics.NewTable("Fig 4.10  executions per optimized trace (TOW)",
+		"group", "executions")
+	for _, grp := range r.groupOrder() {
+		fig.Table.AddRow(grp, fmt.Sprintf("%.0f", fig.Values["executions-per-trace"][grp]))
+	}
+	return fig
+}
+
+// Fig411Apps are the three contrast applications of the breakdown figure.
+var Fig411Apps = []string{"flash", "swim", "gcc"}
+
+// Fig411Models are the three compared machines of the breakdown figure.
+var Fig411Models = []config.ModelID{config.N, config.TON, config.TOS}
+
+// Fig411 reproduces Figure 4.11: the dynamic-energy breakdown between major
+// components for N, TON and TOS on flash, swim and gcc.
+func (r *Results) Fig411() *Figure {
+	fig := &Figure{ID: "Fig 4.11", Caption: "energy breakdown per component",
+		Values: map[string]map[string]float64{}}
+	cols := []string{"component"}
+	for _, app := range Fig411Apps {
+		for _, m := range Fig411Models {
+			if _, ok := r.byModel[m]; !ok {
+				continue
+			}
+			cols = append(cols, fmt.Sprintf("%s/%s", app, m))
+		}
+	}
+	fig.Table = metrics.NewTable("Fig 4.11  energy breakdown (share of dynamic energy)", cols...)
+	for c := energy.Component(0); c < energy.NumComponents; c++ {
+		cells := []string{c.String()}
+		for _, app := range Fig411Apps {
+			for _, m := range Fig411Models {
+				res := r.Get(m, app)
+				if res == nil {
+					continue
+				}
+				share := 0.0
+				if res.DynEnergy > 0 {
+					share = res.Breakdown[c] / res.DynEnergy
+				}
+				key := fmt.Sprintf("%s/%s", app, m)
+				if fig.Values[key] == nil {
+					fig.Values[key] = map[string]float64{}
+				}
+				fig.Values[key][c.String()] = share
+				cells = append(cells, fmt.Sprintf("%.1f%%", share*100))
+			}
+		}
+		fig.Table.AddRow(cells...)
+	}
+	return fig
+}
+
+// TraceManipulationShare returns the fraction of a run's dynamic energy
+// spent on trace manipulation — filtering, construction and optimization —
+// which the paper reports as "in the order of 10%" (§4.4).
+func (r *Results) TraceManipulationShare(id config.ModelID, app string) float64 {
+	res := r.Get(id, app)
+	if res == nil || res.DynEnergy == 0 {
+		return 0
+	}
+	return res.Breakdown[energy.CompTraceManip] / res.DynEnergy
+}
+
+// AllFigures returns every reproduced figure in paper order.
+func (r *Results) AllFigures() []*Figure {
+	return []*Figure{
+		r.Fig41(), r.Fig42(), r.Fig43(), r.Fig44(), r.Fig45(), r.Fig46(),
+		r.Fig47(), r.Fig48(), r.Fig49(), r.Fig410(), r.Fig411(),
+	}
+}

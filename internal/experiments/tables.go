@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+
+	"parrot/internal/config"
+	"parrot/internal/metrics"
+)
+
+// Table31 renders the paper's Table 3.1: the two-dimensional configuration
+// space of core width by front-end capability.
+func Table31() *metrics.Table {
+	t := metrics.NewTable("Table 3.1  two-dimensional configuration space",
+		"core \\ front-end", "baseline", "+trace cache", "+trace cache & optimizer")
+	t.AddRow("narrow (4-wide)", "N", "TN", "TON")
+	t.AddRow("wide (8-wide)", "W", "TW", "TOW")
+	t.AddRow("split (4+8)", "-", "-", "TOS")
+	return t
+}
+
+// Table32 renders the paper's Table 3.2: the microarchitectural settings of
+// every model, derived directly from the executable configurations.
+func Table32() *metrics.Table {
+	t := metrics.NewTable("Table 3.2  microarchitectural settings",
+		"model", "fetch", "decode", "rename", "issue", "ROB", "IQ",
+		"BP", "TC frames", "TC fetch", "tpred", "hot thr", "blaze thr", "optimizer", "area K")
+	for _, m := range config.All() {
+		tc, tf, tp, ht, bt, opt := "-", "-", "-", "-", "-", "-"
+		if m.TraceCache {
+			tc = fmt.Sprintf("%d", m.TCFrames)
+			tf = fmt.Sprintf("%d", m.TraceFetchUops)
+			tp = fmt.Sprintf("%d", m.TPredEntries)
+			ht = fmt.Sprintf("%d", m.HotThreshold)
+		}
+		if m.Optimize {
+			bt = fmt.Sprintf("%d", m.BlazeThreshold)
+			opt = "full"
+		}
+		width := fmt.Sprintf("%d", m.Core.Width)
+		issue := fmt.Sprintf("%d", m.Core.IssueWidth)
+		rob := fmt.Sprintf("%d", m.Core.ROBSize)
+		iq := fmt.Sprintf("%d", m.Core.IQSize)
+		if m.Split {
+			width = fmt.Sprintf("%d+%d", m.Core.Width, m.HotCore.Width)
+			issue = fmt.Sprintf("%d+%d", m.Core.IssueWidth, m.HotCore.IssueWidth)
+			rob = fmt.Sprintf("%d+%d", m.Core.ROBSize, m.HotCore.ROBSize)
+			iq = fmt.Sprintf("%d+%d", m.Core.IQSize, m.HotCore.IQSize)
+		}
+		t.AddRow(string(m.ID),
+			fmt.Sprintf("%d", m.FetchWidth),
+			fmt.Sprintf("%d", m.DecodeWidth),
+			width, issue, rob, iq,
+			fmt.Sprintf("%d", m.BPEntries),
+			tc, tf, tp, ht, bt, opt,
+			fmt.Sprintf("%.2f", m.CoreAreaK))
+	}
+	return t
+}

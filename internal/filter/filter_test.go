@@ -1,0 +1,111 @@
+package filter
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPromotionAtThreshold(t *testing.T) {
+	c := New(64, 4, 3)
+	key := uint64(0xABCD)
+	for i := 1; i <= 2; i++ {
+		if _, promoted := c.Bump(key); promoted {
+			t.Fatalf("promoted at count %d, threshold 3", i)
+		}
+	}
+	count, promoted := c.Bump(key)
+	if !promoted || count != 3 {
+		t.Fatalf("third bump = %d,%v, want 3,true", count, promoted)
+	}
+	// Promotion fires exactly once.
+	if _, promoted := c.Bump(key); promoted {
+		t.Fatal("promotion must not re-fire")
+	}
+	if c.Stats.Promotions != 1 {
+		t.Errorf("promotions = %d", c.Stats.Promotions)
+	}
+}
+
+func TestThresholdOnePromotesImmediately(t *testing.T) {
+	c := New(16, 2, 1)
+	if _, promoted := c.Bump(7); !promoted {
+		t.Fatal("threshold 1 must promote on first touch")
+	}
+	if _, promoted := c.Bump(7); promoted {
+		t.Fatal("must not re-promote")
+	}
+}
+
+func TestCountAndForget(t *testing.T) {
+	c := New(64, 4, 10)
+	c.Bump(5)
+	c.Bump(5)
+	if c.Count(5) != 2 {
+		t.Errorf("count = %d", c.Count(5))
+	}
+	if c.Count(6) != 0 {
+		t.Errorf("absent count = %d", c.Count(6))
+	}
+	c.Forget(5)
+	if c.Count(5) != 0 {
+		t.Error("forget must clear entry")
+	}
+	// Re-touch restarts from 1.
+	if n, _ := c.Bump(5); n != 1 {
+		t.Errorf("restart count = %d", n)
+	}
+}
+
+func TestEvictionRestartsCounting(t *testing.T) {
+	// 1 set of 2 ways: three keys in the same set thrash.
+	c := New(2, 2, 100)
+	// All keys map into the single set.
+	c.Bump(1)
+	c.Bump(2)
+	c.Bump(3) // evicts LRU (1)
+	if c.Stats.Evictions != 1 {
+		t.Fatalf("evictions = %d", c.Stats.Evictions)
+	}
+	if n, _ := c.Bump(1); n != 1 {
+		t.Errorf("evicted key restarts at %d", n)
+	}
+}
+
+func TestLRUKeepsHotEntries(t *testing.T) {
+	c := New(2, 2, 1000)
+	for i := 0; i < 50; i++ {
+		c.Bump(10) // hot
+		c.Bump(uint64(100 + i))
+	}
+	if c.Count(10) != 50 {
+		t.Errorf("hot entry count = %d, want 50 (must never evict)", c.Count(10))
+	}
+}
+
+// Property: counter for a lone key equals the number of bumps (saturating).
+func TestCountMatchesBumps(t *testing.T) {
+	f := func(n uint8) bool {
+		c := New(16, 4, 1<<30)
+		key := uint64(42)
+		for i := 0; i < int(n); i++ {
+			c.Bump(key)
+		}
+		if n == 0 {
+			return c.Count(key) == 0
+		}
+		return c.Count(key) == uint32(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEntriesRounding(t *testing.T) {
+	c := New(100, 4, 2)
+	if c.Entries() < 100 || c.Entries()%4 != 0 {
+		t.Errorf("entries = %d", c.Entries())
+	}
+	if c.Threshold() != 2 {
+		t.Errorf("threshold = %d", c.Threshold())
+	}
+}

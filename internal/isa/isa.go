@@ -1,0 +1,366 @@
+// Package isa defines the micro-operation (uop) instruction set used by the
+// PARROT simulator.
+//
+// The paper targets IA32: variable-length macro-instructions that decode into
+// one or more uops. We reproduce that split with a compact RISC-like uop set
+// that carries real semantics (so the dynamic optimizer can be verified
+// against an architectural emulator) plus variable-length macro-instructions
+// whose decode cost model captures the serial nature of CISC decoding that
+// motivates a decoded trace cache.
+//
+// Register file: 16 integer registers, 16 floating-point registers and one
+// architectural flags register. The flags register is modelled as an ordinary
+// renameable register so that dependency tracking, renaming and optimization
+// treat control flags uniformly with data.
+package isa
+
+import "fmt"
+
+// Reg names an architectural register. Values 0..15 are the integer
+// registers, 16..23 the floating-point registers, and RegFlags the flags
+// register. RegNone marks an unused operand slot.
+type Reg uint8
+
+// Architectural register file layout.
+const (
+	NumGPR       = 16 // integer registers r0..r15
+	NumFP        = 16 // floating point registers f0..f15 (SSE-style logical set)
+	RegFlags Reg = NumGPR + NumFP
+	NumRegs      = NumGPR + NumFP + 1 // GPRs + FPs + flags
+
+	// RegNone marks an absent operand slot.
+	RegNone Reg = 0xFF
+)
+
+// GPR returns the i'th integer register.
+func GPR(i int) Reg { return Reg(i % NumGPR) }
+
+// FPR returns the i'th floating-point register.
+func FPR(i int) Reg { return Reg(NumGPR + i%NumFP) }
+
+// IsGPR reports whether r is an integer register.
+func (r Reg) IsGPR() bool { return r < NumGPR }
+
+// IsFP reports whether r is a floating-point register.
+func (r Reg) IsFP() bool { return r >= NumGPR && r < NumGPR+NumFP }
+
+// Valid reports whether r names a real architectural register.
+func (r Reg) Valid() bool { return r < NumRegs }
+
+// String implements fmt.Stringer.
+func (r Reg) String() string {
+	switch {
+	case r.IsGPR():
+		return fmt.Sprintf("r%d", int(r))
+	case r.IsFP():
+		return fmt.Sprintf("f%d", int(r-NumGPR))
+	case r == RegFlags:
+		return "flags"
+	case r == RegNone:
+		return "-"
+	}
+	return fmt.Sprintf("reg?%d", int(r))
+}
+
+// Flag bits stored in the flags register (as an int64 value).
+const (
+	FlagZ int64 = 1 << 0 // zero
+	FlagS int64 = 1 << 1 // sign (negative)
+	FlagC int64 = 1 << 2 // carry (unsigned borrow on compare)
+)
+
+// Op enumerates uop opcodes.
+type Op uint8
+
+// Uop opcodes. Arithmetic uops write an integer destination; Cmp/Test write
+// the flags register; Br and Assert read the flags register.
+const (
+	OpNop Op = iota
+
+	// Data movement.
+	OpMov    // Dst0 <- Src0
+	OpMovImm // Dst0 <- Imm
+
+	// Integer ALU, register forms: Dst0 <- Src0 op Src1.
+	OpAdd
+	OpSub
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+
+	// Integer ALU, immediate forms: Dst0 <- Src0 op Imm.
+	OpAddImm
+	OpSubImm
+	OpAndImm
+	OpOrImm
+	OpXorImm
+	OpShlImm
+	OpShrImm
+
+	// Long-latency integer.
+	OpMul // Dst0 <- Src0 * Src1
+	OpDiv // Dst0 <- Src0 / Src1 (0 divisor yields 0, keeping semantics total)
+
+	// Memory. Address is Src0 + Imm.
+	OpLoad  // Dst0 <- mem[Src0+Imm]
+	OpStore // mem[Src0+Imm] <- Src1
+
+	// Flag producers.
+	OpCmp    // flags <- compare(Src0, Src1)
+	OpCmpImm // flags <- compare(Src0, Imm)
+	OpTest   // flags <- sign/zero of Src0 & Src1
+
+	// Control transfer. Branches read the flags register via Src0.
+	OpBr   // conditional branch, condition in Cond
+	OpJmp  // unconditional direct jump
+	OpJmpI // indirect jump through Src0
+	OpCall // call (pushes return context; direct target)
+	OpRet  // return (indirect through hardware stack context)
+
+	// Floating point (operate on FP registers; value semantics are integer
+	// arithmetic on the 64-bit register contents, which is sufficient for the
+	// optimizer's semantic-preservation contract while keeping the emulator
+	// exact and deterministic).
+	OpFMov // Dst0 <- Src0
+	OpFAdd // Dst0 <- Src0 + Src1
+	OpFMul // Dst0 <- Src0 * Src1
+	OpFDiv // Dst0 <- Src0 / Src1 (0 divisor yields 0)
+
+	// Trace-only uops, produced by trace construction and optimization.
+	OpAssert      // assert flags condition Cond == Taken; aborts trace otherwise
+	OpAssertJmpI  // assert indirect target matches trace-embedded target
+	OpFusedAluAlu // Dst0 <- (Src0 op1 Src1) op2 Src2; packed dependent ALU pair
+	OpFusedFP     // FP multiply-add style fusion of a dependent FP pair
+	OpFusedCmpBr  // compare Src0,Src1 and assert condition in one uop
+	OpSimd2       // two independent same-op ALU ops: Dst0<-Src0 op Src1, Dst1<-Src2 op Src3
+
+	numOps
+)
+
+var opNames = [...]string{
+	OpNop: "nop", OpMov: "mov", OpMovImm: "movi",
+	OpAdd: "add", OpSub: "sub", OpAnd: "and", OpOr: "or", OpXor: "xor",
+	OpShl: "shl", OpShr: "shr",
+	OpAddImm: "addi", OpSubImm: "subi", OpAndImm: "andi", OpOrImm: "ori",
+	OpXorImm: "xori", OpShlImm: "shli", OpShrImm: "shri",
+	OpMul: "mul", OpDiv: "div",
+	OpLoad: "ld", OpStore: "st",
+	OpCmp: "cmp", OpCmpImm: "cmpi", OpTest: "test",
+	OpBr: "br", OpJmp: "jmp", OpJmpI: "jmpi", OpCall: "call", OpRet: "ret",
+	OpFMov: "fmov", OpFAdd: "fadd", OpFMul: "fmul", OpFDiv: "fdiv",
+	OpAssert: "assert", OpAssertJmpI: "assertji",
+	OpFusedAluAlu: "fused", OpFusedFP: "fusedfp", OpFusedCmpBr: "cmpbr", OpSimd2: "simd2",
+}
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op?%d", int(o))
+}
+
+// NumOps is the number of defined opcodes.
+const NumOps = int(numOps)
+
+// Cond is a branch/assert condition evaluated against the flags register.
+type Cond uint8
+
+// Branch conditions over the Z/S/C flag bits.
+const (
+	CondAlways Cond = iota
+	CondEQ          // Z
+	CondNE          // !Z
+	CondLT          // S (signed less-than after compare)
+	CondGE          // !S
+	CondLE          // Z || S
+	CondGT          // !Z && !S
+	CondULT         // C (unsigned below)
+	CondUGE         // !C
+	NumConds
+)
+
+var condNames = [...]string{"al", "eq", "ne", "lt", "ge", "le", "gt", "ult", "uge"}
+
+// String implements fmt.Stringer.
+func (c Cond) String() string {
+	if int(c) < len(condNames) {
+		return condNames[c]
+	}
+	return fmt.Sprintf("cond?%d", int(c))
+}
+
+// Eval evaluates the condition against a flags register value.
+func (c Cond) Eval(flags int64) bool {
+	z := flags&FlagZ != 0
+	s := flags&FlagS != 0
+	cf := flags&FlagC != 0
+	switch c {
+	case CondAlways:
+		return true
+	case CondEQ:
+		return z
+	case CondNE:
+		return !z
+	case CondLT:
+		return s
+	case CondGE:
+		return !s
+	case CondLE:
+		return z || s
+	case CondGT:
+		return !z && !s
+	case CondULT:
+		return cf
+	case CondUGE:
+		return !cf
+	}
+	return false
+}
+
+// Negate returns the complementary condition. CondAlways negates to itself.
+func (c Cond) Negate() Cond {
+	switch c {
+	case CondEQ:
+		return CondNE
+	case CondNE:
+		return CondEQ
+	case CondLT:
+		return CondGE
+	case CondGE:
+		return CondLT
+	case CondLE:
+		return CondGT
+	case CondGT:
+		return CondLE
+	case CondULT:
+		return CondUGE
+	case CondUGE:
+		return CondULT
+	}
+	return c
+}
+
+// ExecClass groups uops by the functional-unit type that executes them.
+type ExecClass uint8
+
+// Functional unit classes.
+const (
+	ClassNop ExecClass = iota
+	ClassIntALU
+	ClassIntMul
+	ClassIntDiv
+	ClassFPAdd
+	ClassFPMul
+	ClassFPDiv
+	ClassLoad
+	ClassStore
+	ClassBranch
+	NumExecClasses
+)
+
+var classNames = [...]string{
+	"nop", "alu", "mul", "div", "fadd", "fmul", "fdiv", "load", "store", "branch",
+}
+
+// String implements fmt.Stringer.
+func (c ExecClass) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class?%d", int(c))
+}
+
+// Latency returns the baseline execution latency, in cycles, of the class.
+// Load latency covers only the L1 hit path; misses add memory-system cycles.
+func (c ExecClass) Latency() int {
+	switch c {
+	case ClassIntALU, ClassBranch, ClassStore:
+		return 1
+	case ClassIntMul:
+		return 3
+	case ClassIntDiv:
+		return 12
+	case ClassFPAdd:
+		return 3
+	case ClassFPMul:
+		return 4
+	case ClassFPDiv:
+		return 14
+	case ClassLoad:
+		return 3
+	}
+	return 1
+}
+
+// Class returns the functional-unit class executing opcode o.
+func (o Op) Class() ExecClass {
+	switch o {
+	case OpNop:
+		return ClassNop
+	case OpMul:
+		return ClassIntMul
+	case OpDiv:
+		return ClassIntDiv
+	case OpFAdd, OpFMov:
+		return ClassFPAdd
+	case OpFMul, OpFusedFP:
+		return ClassFPMul
+	case OpFDiv:
+		return ClassFPDiv
+	case OpLoad:
+		return ClassLoad
+	case OpStore:
+		return ClassStore
+	case OpBr, OpJmp, OpJmpI, OpCall, OpRet, OpAssert, OpAssertJmpI, OpFusedCmpBr:
+		return ClassBranch
+	}
+	return ClassIntALU
+}
+
+// IsBranch reports whether o transfers control (including trace asserts).
+func (o Op) IsBranch() bool { return o.Class() == ClassBranch }
+
+// IsCTI reports whether o is a control-transfer instruction terminator in the
+// original (pre-trace) program: conditional/unconditional jumps, calls, rets.
+func (o Op) IsCTI() bool {
+	switch o {
+	case OpBr, OpJmp, OpJmpI, OpCall, OpRet:
+		return true
+	}
+	return false
+}
+
+// IsMem reports whether o accesses data memory.
+func (o Op) IsMem() bool { return o == OpLoad || o == OpStore }
+
+// WritesFlags reports whether o architecturally writes the flags register.
+func (o Op) WritesFlags() bool {
+	switch o {
+	case OpCmp, OpCmpImm, OpTest, OpFusedCmpBr:
+		return true
+	}
+	return false
+}
+
+// ReadsFlags reports whether o architecturally reads the flags register.
+func (o Op) ReadsFlags() bool {
+	switch o {
+	case OpBr, OpAssert:
+		return true
+	}
+	return false
+}
+
+// HasImm reports whether o uses the immediate operand.
+func (o Op) HasImm() bool {
+	switch o {
+	case OpMovImm, OpAddImm, OpSubImm, OpAndImm, OpOrImm, OpXorImm,
+		OpShlImm, OpShrImm, OpLoad, OpStore, OpCmpImm, OpBr, OpJmp,
+		OpCall, OpAssertJmpI:
+		return true
+	}
+	return false
+}

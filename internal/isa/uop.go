@@ -1,0 +1,191 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MaxDst and MaxSrc bound the operand counts of a single uop. Two
+// destinations and four sources accommodate the packed uops produced by
+// SIMDification (two independent ALU operations in one uop).
+const (
+	MaxDst = 2
+	MaxSrc = 4
+)
+
+// Uop is a single micro-operation. Uops are values; the simulator copies
+// them freely. Operand slots not in use hold RegNone.
+//
+// For trace uops, Taken records the direction embedded in the trace for
+// branch-class uops (the direction the trace asserts), and Elim marks uops
+// that the optimizer removed (used transiently inside optimizer passes; an
+// optimized trace never contains eliminated uops).
+type Uop struct {
+	Op   Op
+	Cond Cond
+	Dst  [MaxDst]Reg
+	Src  [MaxSrc]Reg
+	Imm  int64
+
+	// SubOps holds the constituent operations of a packed uop.
+	// For OpFusedAluAlu: tmp = SubOps[0](Src0, Src1); Dst0 = SubOps[1](tmp, Src2).
+	// For OpSimd2: Dst0 = SubOps[0](Src0, Src1); Dst1 = SubOps[0](Src2, Src3).
+	// At most one sub-op may be an immediate form; it consumes Imm.
+	SubOps [2]Op
+
+	// Taken is the branch direction embedded during trace construction.
+	Taken bool
+}
+
+// NewUop returns a uop with all operand slots cleared.
+func NewUop(op Op) Uop {
+	u := Uop{Op: op}
+	for i := range u.Dst {
+		u.Dst[i] = RegNone
+	}
+	for i := range u.Src {
+		u.Src[i] = RegNone
+	}
+	return u
+}
+
+// Dsts returns the populated destination registers.
+func (u *Uop) Dsts() []Reg {
+	out := make([]Reg, 0, MaxDst)
+	for _, d := range u.Dst {
+		if d != RegNone {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Srcs returns the populated source registers.
+func (u *Uop) Srcs() []Reg {
+	out := make([]Reg, 0, MaxSrc)
+	for _, s := range u.Src {
+		if s != RegNone {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// NumSrcs returns the count of populated source operands.
+func (u *Uop) NumSrcs() int {
+	n := 0
+	for _, s := range u.Src {
+		if s != RegNone {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the uop in a compact assembly-like syntax.
+func (u Uop) String() string {
+	var b strings.Builder
+	b.WriteString(u.Op.String())
+	if u.Op == OpBr || u.Op == OpAssert || u.Op == OpFusedCmpBr {
+		fmt.Fprintf(&b, ".%s", u.Cond)
+		if u.Taken {
+			b.WriteString("/T")
+		} else {
+			b.WriteString("/NT")
+		}
+	}
+	if u.Op == OpFusedAluAlu || u.Op == OpFusedFP {
+		fmt.Fprintf(&b, "[%s;%s]", u.SubOps[0], u.SubOps[1])
+	} else if u.Op == OpSimd2 {
+		fmt.Fprintf(&b, "[%s]", u.SubOps[0])
+	}
+	first := true
+	for _, d := range u.Dst {
+		if d == RegNone {
+			continue
+		}
+		if first {
+			b.WriteString(" ")
+			first = false
+		} else {
+			b.WriteString(",")
+		}
+		b.WriteString(d.String())
+	}
+	if !first {
+		b.WriteString(" <-")
+	}
+	for _, s := range u.Src {
+		if s == RegNone {
+			continue
+		}
+		fmt.Fprintf(&b, " %s", s)
+	}
+	if u.Op.HasImm() {
+		fmt.Fprintf(&b, " #%d", u.Imm)
+	}
+	return b.String()
+}
+
+// InstKind classifies macro-instructions for fetch/decode modelling.
+type InstKind uint8
+
+// Macro-instruction kinds.
+const (
+	KindSimple  InstKind = iota // 1 uop, decodable on any decoder
+	KindComplex                 // >1 uop, requires the complex decoder slot
+	KindBranch                  // ends a basic block (conditional)
+	KindJump                    // unconditional direct jump
+	KindJumpInd                 // indirect jump
+	KindCall
+	KindRet
+	NumInstKinds
+)
+
+var kindNames = [...]string{"simple", "complex", "branch", "jump", "jumpind", "call", "ret"}
+
+// String implements fmt.Stringer.
+func (k InstKind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind?%d", int(k))
+}
+
+// IsCTI reports whether the kind transfers control.
+func (k InstKind) IsCTI() bool { return k >= KindBranch }
+
+// Inst is a static macro-instruction: a variable-length IA32-like
+// instruction that decodes into Uops. Instances are shared between all
+// dynamic occurrences; dynamic state (branch outcome, memory address)
+// travels in workload.DynInst.
+type Inst struct {
+	PC   uint64 // static address
+	Size uint8  // encoded length in bytes, 1..15
+	Kind InstKind
+	Uops []Uop
+
+	// Target is the static taken-target for direct CTIs (branch/jump/call).
+	Target uint64
+}
+
+// NumUops returns the decoded uop count.
+func (in *Inst) NumUops() int { return len(in.Uops) }
+
+// IsComplex reports whether the instruction needs the complex decoder:
+// instructions decoding into more than two uops, mirroring the classic
+// 4-1-1 style decoder asymmetry of IA32 front-ends.
+func (in *Inst) IsComplex() bool { return len(in.Uops) > 2 }
+
+// FallThrough returns the address of the next sequential instruction.
+func (in *Inst) FallThrough() uint64 { return in.PC + uint64(in.Size) }
+
+// String renders the instruction header and its uops.
+func (in *Inst) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%#x[%d] %s:", in.PC, in.Size, in.Kind)
+	for i := range in.Uops {
+		fmt.Fprintf(&b, " {%s}", in.Uops[i])
+	}
+	return b.String()
+}

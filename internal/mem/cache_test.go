@@ -1,0 +1,180 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCacheGeometry(t *testing.T) {
+	c := NewCache("t", 32<<10, 4, 64)
+	if c.Sets() != 128 || c.Ways() != 4 || c.LineSize() != 64 {
+		t.Errorf("geometry = %d sets, %d ways, %d line", c.Sets(), c.Ways(), c.LineSize())
+	}
+	if c.Name() != "t" {
+		t.Errorf("name = %q", c.Name())
+	}
+}
+
+func TestCacheBadGeometryPanics(t *testing.T) {
+	for _, g := range [][3]int{{0, 4, 64}, {100, 4, 64}, {32768, 4, 48}, {-1, 1, 64}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("geometry %v must panic", g)
+				}
+			}()
+			NewCache("bad", g[0], g[1], g[2])
+		}()
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := NewCache("t", 1<<10, 2, 64)
+	if c.Access(0x1000, false) {
+		t.Error("cold access must miss")
+	}
+	if !c.Access(0x1000, false) {
+		t.Error("second access must hit")
+	}
+	if !c.Access(0x1030, false) {
+		t.Error("same-line access must hit")
+	}
+	if c.Stats.Accesses != 3 || c.Stats.Hits != 2 || c.Stats.Misses != 1 {
+		t.Errorf("stats = %+v", c.Stats)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 2-way cache, 8 sets of 64B lines: addresses 0, 512, 1024 map to set 0.
+	c := NewCache("t", 1<<10, 2, 64)
+	c.Access(0, false)    // miss, way A
+	c.Access(512, false)  // miss, way B
+	c.Access(0, false)    // hit, A most recent
+	c.Access(1024, false) // miss, evicts B (512)
+	if !c.Access(0, false) {
+		t.Error("0 must survive (MRU)")
+	}
+	if c.Access(512, false) {
+		t.Error("512 must have been evicted (LRU)")
+	}
+	if c.Stats.Evictions == 0 {
+		t.Error("eviction must be counted")
+	}
+}
+
+func TestLookupDoesNotModify(t *testing.T) {
+	c := NewCache("t", 1<<10, 2, 64)
+	if c.Lookup(0x40) {
+		t.Error("lookup of absent line must be false")
+	}
+	if c.Stats.Accesses != 0 {
+		t.Error("lookup must not count as access")
+	}
+	c.Access(0x40, false)
+	if !c.Lookup(0x40) {
+		t.Error("lookup of present line must be true")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := NewCache("t", 1<<10, 2, 64)
+	c.Access(0x40, false)
+	c.Flush()
+	if c.Lookup(0x40) {
+		t.Error("flush must invalidate lines")
+	}
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchy())
+	addr := uint64(0x123400)
+	// Cold: miss everywhere.
+	if got := h.AccessData(addr, false); got != h.Config().L2Latency+h.Config().MemLatency {
+		t.Errorf("cold access latency = %d", got)
+	}
+	// Now an L1D hit.
+	if got := h.AccessData(addr, false); got != 0 {
+		t.Errorf("hit latency = %d", got)
+	}
+	// Evict from L1D only by touching enough conflicting lines; easier:
+	// a different address that's in L2 after first touch.
+	h.AccessData(0x777000, true)
+	if got := h.AccessData(0x777000, false); got != 0 {
+		t.Errorf("re-hit latency = %d", got)
+	}
+	if h.L2SizeMB() != 1.0 {
+		t.Errorf("L2SizeMB = %v", h.L2SizeMB())
+	}
+}
+
+func TestInstDataPathsSeparate(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchy())
+	h.FetchInst(0x1000)
+	if h.L1D.Stats.Accesses != 0 {
+		t.Error("instruction fetch must not touch L1D")
+	}
+	if h.L1I.Stats.Accesses != 1 {
+		t.Error("instruction fetch must touch L1I")
+	}
+	h.AccessData(0x1000, false)
+	// L1I miss went to L2, so data access to the same line hits L2.
+	if h.L2.Stats.Accesses != 2 || h.L2.Stats.Hits != 1 {
+		t.Errorf("L2 stats = %+v", h.L2.Stats)
+	}
+}
+
+// Property: after any access, an immediate repeat of the same address hits.
+func TestAccessThenHitProperty(t *testing.T) {
+	c := NewCache("t", 8<<10, 4, 64)
+	f := func(addr uint64, write bool) bool {
+		c.Access(addr, write)
+		return c.Lookup(addr)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: stats identity — hits + misses == accesses.
+func TestStatsIdentity(t *testing.T) {
+	c := NewCache("t", 1<<10, 2, 64)
+	f := func(addrs []uint64) bool {
+		for _, a := range addrs {
+			c.Access(a, false)
+		}
+		return c.Stats.Hits+c.Stats.Misses == c.Stats.Accesses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWorkingSetFitsCache(t *testing.T) {
+	// A working set smaller than capacity must converge to ~100% hits.
+	c := NewCache("t", 32<<10, 4, 64)
+	for pass := 0; pass < 4; pass++ {
+		for a := uint64(0); a < 16<<10; a += 64 {
+			c.Access(a, false)
+		}
+	}
+	if mr := c.Stats.MissRate(); mr > 0.26 {
+		t.Errorf("resident working set miss rate = %v", mr)
+	}
+	// Only the first pass misses.
+	if c.Stats.Misses != 256 {
+		t.Errorf("misses = %d, want 256 cold misses", c.Stats.Misses)
+	}
+}
+
+func TestThrashingWorkingSet(t *testing.T) {
+	// A working set far larger than capacity keeps missing.
+	c := NewCache("t", 1<<10, 2, 64)
+	for pass := 0; pass < 3; pass++ {
+		for a := uint64(0); a < 64<<10; a += 64 {
+			c.Access(a, false)
+		}
+	}
+	if mr := c.Stats.MissRate(); mr < 0.99 {
+		t.Errorf("thrashing miss rate = %v, want ~1", mr)
+	}
+}

@@ -1,0 +1,164 @@
+// Package metrics provides the statistical helpers of the study's result
+// presentation: geometric means over benchmark groups and simple fixed-width
+// table rendering for the figure harnesses.
+//
+// The paper's graphs "display the geometrical mean for each group of
+// applications as well as the overall mean for the entire benchmark" (§4),
+// plus the three killer applications.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Geomean returns the geometric mean of positive values; zero or negative
+// entries are skipped (they would otherwise poison the product).
+func Geomean(vals []float64) float64 {
+	sum := 0.0
+	n := 0
+	for _, v := range vals {
+		if v > 0 {
+			sum += math.Log(v)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Mean returns the arithmetic mean.
+func Mean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+	}
+	return sum / float64(len(vals))
+}
+
+// Ratio returns a/b, or 0 when b is 0.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// Pct formats a ratio as a signed percentage change ("+17.2%").
+func Pct(ratio float64) string {
+	return fmt.Sprintf("%+.1f%%", (ratio-1)*100)
+}
+
+// Table renders rows of labelled values as a fixed-width text table.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers. The
+// first column is the row label.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row of cells (label first).
+func (t *Table) AddRow(cells ...string) { t.rows = append(t.rows, cells) }
+
+// AddF appends a row with a label and formatted float cells.
+func (t *Table) AddF(label, format string, vals ...float64) {
+	cells := []string{label}
+	for _, v := range vals {
+		cells = append(cells, fmt.Sprintf(format, v))
+	}
+	t.AddRow(cells...)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i >= len(widths) {
+				break
+			}
+			if i == 0 {
+				fmt.Fprintf(&b, "  %-*s", widths[i], c)
+			} else {
+				fmt.Fprintf(&b, "  %*s", widths[i], c)
+			}
+		}
+		b.WriteString("\n")
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// Grouped accumulates per-group values and reports group geomeans in a
+// stable order.
+type Grouped struct {
+	order []string
+	vals  map[string][]float64
+}
+
+// NewGrouped creates an empty group accumulator.
+func NewGrouped() *Grouped {
+	return &Grouped{vals: make(map[string][]float64)}
+}
+
+// Add appends a value to a group.
+func (g *Grouped) Add(group string, v float64) {
+	if _, ok := g.vals[group]; !ok {
+		g.order = append(g.order, group)
+	}
+	g.vals[group] = append(g.vals[group], v)
+}
+
+// Groups returns the group names in insertion order.
+func (g *Grouped) Groups() []string { return g.order }
+
+// Geomean returns the geometric mean of a group.
+func (g *Grouped) Geomean(group string) float64 { return Geomean(g.vals[group]) }
+
+// Overall returns the geometric mean over every value in every group.
+func (g *Grouped) Overall() float64 {
+	var all []float64
+	keys := make([]string, 0, len(g.vals))
+	for k := range g.vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		all = append(all, g.vals[k]...)
+	}
+	return Geomean(all)
+}

@@ -1,0 +1,100 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean([]float64{1, 4}); math.Abs(g-2) > 1e-12 {
+		t.Errorf("geomean(1,4) = %v", g)
+	}
+	if g := Geomean([]float64{2, 2, 2}); math.Abs(g-2) > 1e-12 {
+		t.Errorf("geomean(2,2,2) = %v", g)
+	}
+	if Geomean(nil) != 0 {
+		t.Error("empty geomean must be 0")
+	}
+	// Non-positive values are skipped.
+	if g := Geomean([]float64{0, -3, 8, 2}); math.Abs(g-4) > 1e-12 {
+		t.Errorf("geomean with skips = %v", g)
+	}
+}
+
+// Property: the geomean lies between min and max of positive inputs.
+func TestGeomeanBounds(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var vals []float64
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, r := range raw {
+			v := float64(r)/100 + 0.01
+			vals = append(vals, v)
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		g := Geomean(vals)
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanAndRatio(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Error("mean broken")
+	}
+	if Mean(nil) != 0 {
+		t.Error("empty mean must be 0")
+	}
+	if Ratio(6, 3) != 2 || Ratio(1, 0) != 0 {
+		t.Error("ratio broken")
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(1.172); got != "+17.2%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := Pct(0.93); got != "-7.0%" {
+		t.Errorf("Pct = %q", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("demo", "name", "v1", "v2")
+	tb.AddRow("alpha", "1", "2")
+	tb.AddF("beta", "%.1f", 3.14, 2.72)
+	out := tb.String()
+	for _, want := range []string{"demo", "alpha", "beta", "3.1", "2.7", "name"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, two rows
+		t.Errorf("table has %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestGrouped(t *testing.T) {
+	g := NewGrouped()
+	g.Add("a", 2)
+	g.Add("a", 8)
+	g.Add("b", 5)
+	if got := g.Geomean("a"); math.Abs(got-4) > 1e-12 {
+		t.Errorf("group geomean = %v", got)
+	}
+	if groups := g.Groups(); len(groups) != 2 || groups[0] != "a" || groups[1] != "b" {
+		t.Errorf("group order = %v", groups)
+	}
+	want := math.Pow(2*8*5, 1.0/3)
+	if got := g.Overall(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("overall = %v, want %v", got, want)
+	}
+}

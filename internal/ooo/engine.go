@@ -1,0 +1,372 @@
+// Package ooo implements the out-of-order execution engine used by both the
+// cold and hot pipelines: register renaming, a reorder buffer, an issue
+// queue, parameterized functional units and in-order commit.
+//
+// The engine is a trace-driven timing model. Uops are dispatched in program
+// order, issue out of order when their producers complete and a functional
+// unit is free, and commit in order. Branch mispredictions and trace aborts
+// are modelled by the front-end withholding fetch until the offending uop
+// resolves (stall-on-mispredict), so the engine itself never flushes; this
+// is the standard approximation for trace-driven simulators, which do not
+// execute wrong-path instructions.
+package ooo
+
+import (
+	"fmt"
+
+	"parrot/internal/isa"
+)
+
+// Config sizes one execution engine. The reference narrow machine (model N)
+// uses width 4; the wide machine (W) doubles everything (§3.3).
+type Config struct {
+	Width       int // rename/dispatch width, uops per cycle
+	IssueWidth  int // maximum uops issued per cycle
+	CommitWidth int // maximum uops committed per cycle
+	ROBSize     int
+	IQSize      int
+
+	// Units is the number of functional units per execution class.
+	Units [isa.NumExecClasses]int
+}
+
+// Narrow returns the 4-wide reference configuration (model N's core).
+func Narrow() Config {
+	var u [isa.NumExecClasses]int
+	u[isa.ClassIntALU] = 4
+	u[isa.ClassIntMul] = 1
+	u[isa.ClassIntDiv] = 1
+	u[isa.ClassFPAdd] = 2
+	u[isa.ClassFPMul] = 2
+	u[isa.ClassFPDiv] = 1
+	u[isa.ClassLoad] = 2
+	u[isa.ClassStore] = 1
+	u[isa.ClassBranch] = 2
+	return Config{
+		Width: 4, IssueWidth: 4, CommitWidth: 4,
+		ROBSize: 128, IQSize: 32, Units: u,
+	}
+}
+
+// Wide returns the 8-wide configuration (model W's core): double the
+// narrow machine in every dimension.
+func Wide() Config {
+	c := Narrow()
+	c.Width, c.IssueWidth, c.CommitWidth = 8, 8, 8
+	c.ROBSize, c.IQSize = 192, 48
+	for i := range c.Units {
+		c.Units[i] *= 2
+	}
+	return c
+}
+
+// Stats counts engine activity for performance and energy accounting.
+type Stats struct {
+	Cycles         uint64
+	UopsDispatched uint64
+	UopsIssued     uint64
+	UopsCommitted  uint64
+
+	RegReads  uint64 // physical register file read ports exercised
+	RegWrites uint64
+	Wakeups   uint64 // tag broadcasts into the issue queue
+	ROBWrites uint64
+	ROBReads  uint64
+
+	OpsByClass [isa.NumExecClasses]uint64
+
+	StallROBFull uint64 // dispatch cycles lost to a full ROB
+	StallIQFull  uint64
+}
+
+// Handle identifies a dispatched uop (its sequence number).
+type Handle uint64
+
+type robEntry struct {
+	seq      Handle
+	class    isa.ExecClass
+	srcs     [isa.MaxSrc]Handle // producing uops; 0 = ready
+	nsrc     int
+	issued   bool
+	done     bool
+	doneAt   uint64
+	isStore  bool
+	isLoad   bool
+	memAddr  uint64
+	lastUop  bool // last uop of its instruction (commit counts instructions)
+	traceEnd bool // last uop of an atomic trace
+}
+
+// Engine is one out-of-order core instance.
+type Engine struct {
+	cfg Config
+
+	rob     []robEntry
+	head    Handle // oldest un-committed
+	tail    Handle // next sequence number
+	iq      []Handle
+	rename  [isa.NumRegs]Handle // last writer; 0 = architectural file
+	pending []Handle            // issued, awaiting completion
+
+	// in-flight stores for memory disambiguation
+	stores []Handle
+
+	// divBusy tracks per-unit completion times of the non-pipelined divide
+	// units (integer and FP); all other units are fully pipelined.
+	divBusy [isa.NumExecClasses][]uint64
+
+	// memLatency returns extra cycles beyond the L1 hit for a data access.
+	memLatency func(addr uint64, write bool) int
+
+	now uint64
+
+	Stats Stats
+}
+
+// New builds an engine. memLatency supplies data-cache access latency
+// beyond the L1 hit time; nil means all accesses hit.
+func New(cfg Config, memLatency func(addr uint64, write bool) int) *Engine {
+	if cfg.Width < 1 || cfg.ROBSize < cfg.Width || cfg.IQSize < 1 {
+		panic(fmt.Sprintf("ooo: degenerate config %+v", cfg))
+	}
+	if memLatency == nil {
+		memLatency = func(uint64, bool) int { return 0 }
+	}
+	e := &Engine{
+		cfg:        cfg,
+		rob:        make([]robEntry, cfg.ROBSize),
+		head:       1,
+		tail:       1,
+		memLatency: memLatency,
+	}
+	for _, cls := range []isa.ExecClass{isa.ClassIntDiv, isa.ClassFPDiv} {
+		e.divBusy[cls] = make([]uint64, cfg.Units[cls])
+	}
+	return e
+}
+
+// divUnitFree returns a free non-pipelined unit index for cls, or -1.
+func (e *Engine) divUnitFree(cls isa.ExecClass) int {
+	for i, busy := range e.divBusy[cls] {
+		if busy <= e.now {
+			return i
+		}
+	}
+	return -1
+}
+
+// Config returns the engine configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Now returns the engine's cycle counter.
+func (e *Engine) Now() uint64 { return e.now }
+
+func (e *Engine) slot(h Handle) *robEntry { return &e.rob[uint64(h)%uint64(len(e.rob))] }
+
+// InFlight returns the number of uops in the ROB.
+func (e *Engine) InFlight() int { return int(e.tail - e.head) }
+
+// CanDispatch reports whether at least one more uop fits this cycle.
+func (e *Engine) CanDispatch() bool {
+	return e.InFlight() < e.cfg.ROBSize && len(e.iq) < e.cfg.IQSize
+}
+
+// Dispatch renames and inserts a uop, returning its handle. The caller must
+// respect CanDispatch and the per-cycle width (Engine enforces neither, so
+// the front-end model owns bandwidth accounting). lastUop marks instruction
+// boundaries; traceEnd marks atomic-trace boundaries.
+func (e *Engine) Dispatch(u *isa.Uop, memAddr uint64, lastUop, traceEnd bool) Handle {
+	h := e.tail
+	e.tail++
+	en := e.slot(h)
+	*en = robEntry{seq: h, class: u.Op.Class(), lastUop: lastUop, traceEnd: traceEnd}
+	for _, s := range u.Src {
+		if s == isa.RegNone {
+			continue
+		}
+		e.Stats.RegReads++
+		if p := e.rename[s]; p != 0 {
+			if pe := e.slot(p); pe.seq == p && !pe.done {
+				en.srcs[en.nsrc] = p
+				en.nsrc++
+			}
+		}
+	}
+	for _, d := range u.Dst {
+		if d != isa.RegNone {
+			e.rename[d] = h
+			e.Stats.RegWrites++
+		}
+	}
+	switch u.Op {
+	case isa.OpLoad:
+		en.isLoad = true
+		en.memAddr = memAddr
+	case isa.OpStore:
+		en.isStore = true
+		en.memAddr = memAddr
+		e.stores = append(e.stores, h)
+	}
+	e.iq = append(e.iq, h)
+	e.Stats.UopsDispatched++
+	e.Stats.ROBWrites++
+	return h
+}
+
+// Done reports whether the uop has finished execution.
+func (e *Engine) Done(h Handle) bool {
+	en := e.slot(h)
+	return en.seq != h || en.done // overwritten entries were committed long ago
+}
+
+// Retired reports whether the uop has committed.
+func (e *Engine) Retired(h Handle) bool { return h < e.head }
+
+// ready reports whether all producers of an entry have completed.
+func (e *Engine) ready(en *robEntry) bool {
+	for i := 0; i < en.nsrc; i++ {
+		p := en.srcs[i]
+		pe := e.slot(p)
+		if pe.seq == p && !pe.done {
+			return false
+		}
+	}
+	return true
+}
+
+// loadBlocked reports whether an older in-flight store to the same address
+// blocks the load (no forwarding modelled: the load waits).
+func (e *Engine) loadBlocked(en *robEntry) bool {
+	for _, sh := range e.stores {
+		se := e.slot(sh)
+		if se.seq != sh || sh >= en.seq {
+			continue
+		}
+		if !se.done && se.memAddr == en.memAddr {
+			return true
+		}
+	}
+	return false
+}
+
+// Cycle advances the engine one clock: completion, commit, then issue.
+// It returns the number of uops committed this cycle, and how many of them
+// were instruction-final (for IPC accounting).
+func (e *Engine) Cycle() (committedUops, committedInsts int, traceEnds int) {
+	e.now++
+	e.Stats.Cycles++
+
+	// Completion/writeback: retire finished executions, waking dependents.
+	if len(e.pending) > 0 {
+		out := e.pending[:0]
+		for _, h := range e.pending {
+			en := e.slot(h)
+			if en.seq == h && en.doneAt <= e.now {
+				en.done = true
+				e.Stats.Wakeups++
+			} else {
+				out = append(out, h)
+			}
+		}
+		e.pending = out
+	}
+
+	// Commit in order.
+	for committedUops < e.cfg.CommitWidth && e.head < e.tail {
+		en := e.slot(e.head)
+		if !en.done {
+			break
+		}
+		if en.isStore {
+			// Remove from the in-flight store list.
+			for i, sh := range e.stores {
+				if sh == e.head {
+					e.stores = append(e.stores[:i], e.stores[i+1:]...)
+					break
+				}
+			}
+		}
+		if en.lastUop {
+			committedInsts++
+		}
+		if en.traceEnd {
+			traceEnds++
+		}
+		e.head++
+		committedUops++
+		e.Stats.UopsCommitted++
+		e.Stats.ROBReads++
+	}
+
+	// Issue: age-ordered ready uops up to issue width and unit availability.
+	var unitsUsed [isa.NumExecClasses]int
+	issued := 0
+	if len(e.iq) > 0 {
+		out := e.iq[:0]
+		for _, h := range e.iq {
+			en := e.slot(h)
+			if en.seq != h {
+				continue // already committed (defensive)
+			}
+			if issued >= e.cfg.IssueWidth {
+				out = append(out, h)
+				continue
+			}
+			cls := en.class
+			if cls == isa.ClassNop {
+				cls = isa.ClassIntALU
+			}
+			if unitsUsed[cls] >= e.cfg.Units[cls] || !e.ready(en) {
+				out = append(out, h)
+				continue
+			}
+			if en.isLoad && e.loadBlocked(en) {
+				out = append(out, h)
+				continue
+			}
+			lat := en.class.Latency()
+			if e.divBusy[cls] != nil {
+				unit := e.divUnitFree(cls)
+				if unit < 0 {
+					out = append(out, h)
+					continue
+				}
+				e.divBusy[cls][unit] = e.now + uint64(lat)
+			}
+			if en.isLoad {
+				lat += e.memLatency(en.memAddr, false)
+			}
+			if en.isStore {
+				e.memLatency(en.memAddr, true)
+			}
+			en.issued = true
+			en.doneAt = e.now + uint64(lat)
+			e.pending = append(e.pending, h)
+			unitsUsed[cls]++
+			issued++
+			e.Stats.UopsIssued++
+			e.Stats.OpsByClass[cls]++
+			e.Stats.ROBReads++
+		}
+		e.iq = out
+	}
+
+	return committedUops, committedInsts, traceEnds
+}
+
+// Drain runs cycles until the pipeline is empty, returning committed
+// instruction-final uops and trace ends observed.
+func (e *Engine) Drain() (insts, traceEnds int) {
+	for e.head < e.tail {
+		_, ci, te := e.Cycle()
+		insts += ci
+		traceEnds += te
+	}
+	return insts, traceEnds
+}
+
+// NoteStallROB and NoteStallIQ let the front-end record dispatch stalls.
+func (e *Engine) NoteStallROB() { e.Stats.StallROBFull++ }
+
+// NoteStallIQ records an issue-queue-full dispatch stall.
+func (e *Engine) NoteStallIQ() { e.Stats.StallIQFull++ }

@@ -1,0 +1,168 @@
+// Package opt implements PARROT's dynamic trace optimizer (§2.4).
+//
+// The optimizer rewrites blazing traces under the atomic-commit contract:
+// because a trace either commits its entire architectural effect or none of
+// it, and internal control is pinned by assert uops, the optimizer may
+// reorder and eliminate operations across basic-block boundaries as long as
+// the straight-line semantics of the whole trace is preserved. Package emu
+// is the machine-checkable definition of that contract, and the property
+// tests in this package verify every pass against it.
+//
+// Passes (general-purpose, then core-specific, as classified by the paper):
+//
+//   - assert promotion: internal conditional branches become asserts;
+//     internal jumps, calls and returns — pure sequencing uops inside an
+//     atomic trace — are eliminated;
+//   - copy propagation and constant propagation/folding (logic
+//     simplification);
+//   - dead code elimination, with every architectural register live at
+//     trace exit (the hardware contract of atomic commit);
+//   - compare/branch fusion into single assert uops (branch promotion);
+//   - dependent ALU-pair fusion (micro-operation fusion);
+//   - SIMDification of independent same-opcode pairs;
+//   - dynamic-critical-path list scheduling.
+//
+// Memory uops are never removed, reordered or merged: the k-th memory uop
+// of an optimized trace must still consume the k-th dynamic address of a
+// trace instance (see trace.Trace.MemOps).
+package opt
+
+import "parrot/internal/isa"
+
+// depGraph is the static dependency graph the optimizer maintains across
+// passes (§3.1: "a simplified ROB-like structure ... maintains a static
+// dependency graph").
+type depGraph struct {
+	n     int
+	succs [][]int
+	preds [][]int
+}
+
+// buildDataGraph builds the dependency edges of a uop sequence.
+//
+// With strictMem, every memory uop chains to its predecessor, preserving
+// total memory order — required for safe reordering because the k-th memory
+// uop of an optimized trace must consume the k-th dynamic address of a
+// trace instance. Without strictMem the graph carries register dataflow
+// only: the execution engine (and the authors' trace-driven simulator)
+// disambiguates memory by dynamic address, so static memory edges would
+// overstate the dependency path that Figure 4.9 measures. Loads still
+// contribute their latency to the chains rooted at their destinations.
+func buildDataGraph(uops []isa.Uop, strictMem bool) *depGraph {
+	g := &depGraph{n: len(uops)}
+	g.succs = make([][]int, len(uops))
+	g.preds = make([][]int, len(uops))
+	var lastWriter [isa.NumRegs]int
+	for i := range lastWriter {
+		lastWriter[i] = -1
+	}
+	lastMem := -1
+	addEdge := func(from, to int) {
+		if from < 0 || from == to {
+			return
+		}
+		g.succs[from] = append(g.succs[from], to)
+		g.preds[to] = append(g.preds[to], from)
+	}
+	for i := range uops {
+		u := &uops[i]
+		for _, s := range u.Src {
+			if s != isa.RegNone {
+				addEdge(lastWriter[s], i)
+			}
+		}
+		if strictMem && u.Op.IsMem() {
+			addEdge(lastMem, i)
+			lastMem = i
+		}
+		for _, d := range u.Dst {
+			if d != isa.RegNone {
+				lastWriter[d] = i
+			}
+		}
+	}
+	return g
+}
+
+// buildFullGraph adds WAR and WAW edges, producing the constraint graph for
+// safe reordering.
+func buildFullGraph(uops []isa.Uop) *depGraph {
+	g := buildDataGraph(uops, true)
+	var lastWriter [isa.NumRegs]int
+	var readers [isa.NumRegs][]int
+	for i := range lastWriter {
+		lastWriter[i] = -1
+	}
+	addEdge := func(from, to int) {
+		if from < 0 || from == to {
+			return
+		}
+		g.succs[from] = append(g.succs[from], to)
+		g.preds[to] = append(g.preds[to], from)
+	}
+	for i := range uops {
+		u := &uops[i]
+		for _, d := range u.Dst {
+			if d == isa.RegNone {
+				continue
+			}
+			addEdge(lastWriter[d], i) // WAW
+			for _, r := range readers[d] {
+				addEdge(r, i) // WAR
+			}
+		}
+		for _, s := range u.Src {
+			if s != isa.RegNone {
+				readers[s] = append(readers[s], i)
+			}
+		}
+		for _, d := range u.Dst {
+			if d != isa.RegNone {
+				lastWriter[d] = i
+				readers[d] = readers[d][:0]
+			}
+		}
+	}
+	return g
+}
+
+// CriticalPath returns the latency-weighted longest dependency chain of a
+// uop sequence — the paper's "average trace critical (dependency) path"
+// (Figure 4.9).
+func CriticalPath(uops []isa.Uop) int {
+	if len(uops) == 0 {
+		return 0
+	}
+	g := buildDataGraph(uops, false)
+	depth := make([]int, len(uops))
+	best := 0
+	for i := range uops {
+		d := 0
+		for _, p := range g.preds[i] {
+			if depth[p] > d {
+				d = depth[p]
+			}
+		}
+		depth[i] = d + uops[i].Op.Class().Latency()
+		if depth[i] > best {
+			best = depth[i]
+		}
+	}
+	return best
+}
+
+// heights computes, for each node, the latency-weighted longest path from
+// the node to any sink (used as the list-scheduling priority).
+func (g *depGraph) heights(uops []isa.Uop) []int {
+	h := make([]int, g.n)
+	for i := g.n - 1; i >= 0; i-- {
+		best := 0
+		for _, s := range g.succs[i] {
+			if h[s] > best {
+				best = h[s]
+			}
+		}
+		h[i] = best + uops[i].Op.Class().Latency()
+	}
+	return h
+}

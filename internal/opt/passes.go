@@ -1,0 +1,599 @@
+package opt
+
+import (
+	"parrot/internal/emu"
+	"parrot/internal/isa"
+)
+
+// PassStats counts the work of each optimization pass over one trace.
+type PassStats struct {
+	AssertsPromoted   int // internal branches converted to asserts
+	SequencingRemoved int // internal jmp/call/ret uops eliminated
+	AlgebraicSimplify int // identities rewritten (logic simplification)
+	CopiesPropagated  int // source operands rewritten through copies
+	ConstsFolded      int // uops replaced by immediate moves
+	AssertsFolded     int // asserts with statically known outcome removed
+	DeadEliminated    int // dead uops removed
+	CmpBrFused        int // compare+assert pairs fused
+	AluPairsFused     int // dependent ALU pairs fused
+	SimdPacked        int // independent pairs SIMDified
+	Scheduled         int // uops moved by list scheduling
+}
+
+// Add accumulates another trace's pass statistics.
+func (p *PassStats) Add(o PassStats) {
+	p.AssertsPromoted += o.AssertsPromoted
+	p.SequencingRemoved += o.SequencingRemoved
+	p.AlgebraicSimplify += o.AlgebraicSimplify
+	p.CopiesPropagated += o.CopiesPropagated
+	p.ConstsFolded += o.ConstsFolded
+	p.AssertsFolded += o.AssertsFolded
+	p.DeadEliminated += o.DeadEliminated
+	p.CmpBrFused += o.CmpBrFused
+	p.AluPairsFused += o.AluPairsFused
+	p.SimdPacked += o.SimdPacked
+	p.Scheduled += o.Scheduled
+}
+
+// isRegALU reports whether op is a register-form two-source ALU operation.
+func isRegALU(op isa.Op) bool {
+	switch op {
+	case isa.OpAdd, isa.OpSub, isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpShl, isa.OpShr:
+		return true
+	}
+	return false
+}
+
+// isImmALU reports whether op is an immediate-form ALU operation.
+func isImmALU(op isa.Op) bool {
+	switch op {
+	case isa.OpAddImm, isa.OpSubImm, isa.OpAndImm, isa.OpOrImm, isa.OpXorImm,
+		isa.OpShlImm, isa.OpShrImm:
+		return true
+	}
+	return false
+}
+
+func isCommutative(op isa.Op) bool {
+	switch op {
+	case isa.OpAdd, isa.OpAnd, isa.OpOr, isa.OpXor:
+		return true
+	}
+	return false
+}
+
+// isPure reports whether the uop's only architectural effect is writing its
+// destinations (no memory access, no control significance).
+func isPure(u *isa.Uop) bool {
+	if u.Op.IsMem() || u.Op.Class() == isa.ClassBranch {
+		return false
+	}
+	return true
+}
+
+// sweepNops removes nop placeholders left by earlier rewrites.
+func sweepNops(uops []isa.Uop) []isa.Uop {
+	out := uops[:0]
+	for i := range uops {
+		if uops[i].Op != isa.OpNop {
+			out = append(out, uops[i])
+		}
+	}
+	return out
+}
+
+// promoteAsserts converts internal conditional branches into asserts and
+// eliminates internal sequencing uops (direct jumps, calls, returns), which
+// carry no architectural effect inside an atomic trace. The final uop is
+// the trace exit and is left untouched.
+func promoteAsserts(uops []isa.Uop, st *PassStats) []isa.Uop {
+	for i := 0; i < len(uops)-1; i++ {
+		switch uops[i].Op {
+		case isa.OpBr:
+			uops[i].Op = isa.OpAssert
+			st.AssertsPromoted++
+		case isa.OpJmp, isa.OpCall, isa.OpRet:
+			uops[i].Op = isa.OpNop
+			uops[i].Dst = [isa.MaxDst]isa.Reg{isa.RegNone, isa.RegNone}
+			uops[i].Src = [isa.MaxSrc]isa.Reg{isa.RegNone, isa.RegNone, isa.RegNone, isa.RegNone}
+			st.SequencingRemoved++
+		}
+	}
+	return sweepNops(uops)
+}
+
+// algebraic rewrites identity operations (the paper's logic simplification):
+// x^x and x-x become constants, op-with-zero-immediate becomes a move.
+func algebraic(uops []isa.Uop, st *PassStats) []isa.Uop {
+	for i := range uops {
+		u := &uops[i]
+		switch {
+		case (u.Op == isa.OpXor || u.Op == isa.OpSub) && u.Src[0] == u.Src[1] && u.Src[0] != isa.RegNone:
+			d := u.Dst[0]
+			*u = isa.NewUop(isa.OpMovImm)
+			u.Dst[0] = d
+			st.AlgebraicSimplify++
+		case (u.Op == isa.OpAddImm || u.Op == isa.OpSubImm || u.Op == isa.OpOrImm ||
+			u.Op == isa.OpXorImm || u.Op == isa.OpShlImm || u.Op == isa.OpShrImm) && u.Imm == 0:
+			d, s := u.Dst[0], u.Src[0]
+			*u = isa.NewUop(isa.OpMov)
+			u.Dst[0] = d
+			u.Src[0] = s
+			st.AlgebraicSimplify++
+		case u.Op == isa.OpAndImm && u.Imm == 0:
+			d := u.Dst[0]
+			*u = isa.NewUop(isa.OpMovImm)
+			u.Dst[0] = d
+			st.AlgebraicSimplify++
+		}
+	}
+	return uops
+}
+
+// copyProp rewrites source operands through register copies and removes
+// identity moves.
+func copyProp(uops []isa.Uop, st *PassStats) []isa.Uop {
+	var copyOf [isa.NumRegs]isa.Reg
+	for i := range copyOf {
+		copyOf[i] = isa.RegNone
+	}
+	for i := range uops {
+		u := &uops[i]
+		for k, s := range u.Src {
+			if s != isa.RegNone && s.Valid() && copyOf[s] != isa.RegNone {
+				u.Src[k] = copyOf[s]
+				st.CopiesPropagated++
+			}
+		}
+		isCopy := (u.Op == isa.OpMov || u.Op == isa.OpFMov) && u.Dst[0] != isa.RegNone
+		// Invalidate mappings broken by this uop's writes.
+		for _, d := range u.Dst {
+			if d == isa.RegNone {
+				continue
+			}
+			copyOf[d] = isa.RegNone
+			for r := range copyOf {
+				if copyOf[r] == d {
+					copyOf[r] = isa.RegNone
+				}
+			}
+		}
+		if isCopy {
+			if u.Dst[0] == u.Src[0] {
+				// Identity move: pure no-op.
+				*u = isa.NewUop(isa.OpNop)
+				st.AlgebraicSimplify++
+				continue
+			}
+			copyOf[u.Dst[0]] = u.Src[0]
+		}
+	}
+	return sweepNops(uops)
+}
+
+// constProp tracks registers with statically known values and folds pure
+// operations over them into immediate moves. Asserts whose compare operands
+// are trace-constant evaluate statically and disappear: the embedded
+// direction came from a real execution of the same constants.
+func constProp(uops []isa.Uop, st *PassStats) []isa.Uop {
+	var known [isa.NumRegs]bool
+	var val [isa.NumRegs]int64
+	kv := func(r isa.Reg) (int64, bool) {
+		if !r.Valid() || !known[r] {
+			return 0, false
+		}
+		return val[r], true
+	}
+	clobber := func(u *isa.Uop) {
+		for _, d := range u.Dst {
+			if d != isa.RegNone {
+				known[d] = false
+			}
+		}
+	}
+	for i := range uops {
+		u := &uops[i]
+		switch {
+		case u.Op == isa.OpMovImm:
+			known[u.Dst[0]] = true
+			val[u.Dst[0]] = u.Imm
+
+		case u.Op == isa.OpMov || u.Op == isa.OpFMov:
+			if v, ok := kv(u.Src[0]); ok {
+				d := u.Dst[0]
+				*u = isa.NewUop(isa.OpMovImm)
+				u.Dst[0] = d
+				u.Imm = v
+				known[d] = true
+				val[d] = v
+				st.ConstsFolded++
+			} else {
+				clobber(u)
+			}
+
+		case isRegALU(u.Op) || u.Op == isa.OpMul || u.Op == isa.OpDiv ||
+			u.Op == isa.OpFAdd || u.Op == isa.OpFMul || u.Op == isa.OpFDiv:
+			if a, aok := kv(u.Src[0]); aok {
+				if b, bok := kv(u.Src[1]); bok {
+					if v, ok := emu.ALUEval(u.Op, a, b, 0); ok {
+						d := u.Dst[0]
+						*u = isa.NewUop(isa.OpMovImm)
+						u.Dst[0] = d
+						u.Imm = v
+						known[d] = true
+						val[d] = v
+						st.ConstsFolded++
+						continue
+					}
+				}
+			}
+			clobber(u)
+
+		case isImmALU(u.Op):
+			if a, aok := kv(u.Src[0]); aok {
+				if v, ok := emu.ALUEval(u.Op, a, 0, u.Imm); ok {
+					d := u.Dst[0]
+					*u = isa.NewUop(isa.OpMovImm)
+					u.Dst[0] = d
+					u.Imm = v
+					known[d] = true
+					val[d] = v
+					st.ConstsFolded++
+					continue
+				}
+			}
+			clobber(u)
+
+		case u.Op == isa.OpCmp || u.Op == isa.OpCmpImm || u.Op == isa.OpTest:
+			b, bKnown := int64(0), false
+			switch u.Op {
+			case isa.OpCmpImm:
+				b, bKnown = u.Imm, true
+			default:
+				if bv, ok := kv(u.Src[1]); ok {
+					b, bKnown = bv, true
+				}
+			}
+			if a, aok := kv(u.Src[0]); aok && bKnown {
+				var f int64
+				if u.Op == isa.OpTest {
+					f = emu.TestFlags(a, b)
+				} else {
+					f = emu.CompareFlags(a, b)
+				}
+				known[isa.RegFlags] = true
+				val[isa.RegFlags] = f
+				// The compare itself still writes flags; it stays (it may
+				// be dead-code-eliminated later if the flags value is
+				// overwritten before any dynamic use).
+			} else {
+				known[isa.RegFlags] = false
+			}
+
+		case u.Op == isa.OpAssert:
+			if known[isa.RegFlags] && u.Cond.Eval(val[isa.RegFlags]) == u.Taken {
+				// Statically satisfied assert: remove.
+				*u = isa.NewUop(isa.OpNop)
+				st.AssertsFolded++
+			}
+
+		default:
+			clobber(u)
+		}
+	}
+	return sweepNops(uops)
+}
+
+// dce removes uops with no architectural effect. Atomic commit makes every
+// architectural register live at trace exit, so a write is dead only when
+// the trace itself overwrites it before any read. Memory and branch-class
+// uops are never removed.
+func dce(uops []isa.Uop, st *PassStats) []isa.Uop {
+	var live [isa.NumRegs]bool
+	for i := range live {
+		live[i] = true // atomic-commit contract: all registers live out
+	}
+	keep := make([]bool, len(uops))
+	for i := len(uops) - 1; i >= 0; i-- {
+		u := &uops[i]
+		anyLive := false
+		for _, d := range u.Dst {
+			if d != isa.RegNone && live[d] {
+				anyLive = true
+			}
+		}
+		if isPure(u) && !anyLive {
+			st.DeadEliminated++
+			continue
+		}
+		keep[i] = true
+		for _, d := range u.Dst {
+			if d != isa.RegNone {
+				live[d] = false
+			}
+		}
+		for _, s := range u.Src {
+			if s != isa.RegNone {
+				live[s] = true
+			}
+		}
+	}
+	out := uops[:0]
+	for i := range uops {
+		if keep[i] {
+			out = append(out, uops[i])
+		}
+	}
+	return out
+}
+
+// fuseCmpBr merges a compare immediately followed by the assert consuming
+// its flags into a single fused uop (branch promotion). The fused uop still
+// writes flags, so downstream flag readers remain correct.
+func fuseCmpBr(uops []isa.Uop, st *PassStats) []isa.Uop {
+	for i := 0; i+1 < len(uops); i++ {
+		u, v := &uops[i], &uops[i+1]
+		if (u.Op != isa.OpCmp && u.Op != isa.OpCmpImm) || v.Op != isa.OpAssert {
+			continue
+		}
+		w := isa.NewUop(isa.OpFusedCmpBr)
+		w.Src[0] = u.Src[0]
+		if u.Op == isa.OpCmp {
+			w.Src[1] = u.Src[1]
+		} else {
+			w.Imm = u.Imm
+		}
+		w.Dst[0] = isa.RegFlags
+		w.Cond = v.Cond
+		w.Taken = v.Taken
+		uops[i] = w
+		uops[i+1] = isa.NewUop(isa.OpNop)
+		st.CmpBrFused++
+	}
+	return sweepNops(uops)
+}
+
+// readsReg reports whether the uop reads register r.
+func readsReg(u *isa.Uop, r isa.Reg) bool {
+	for _, s := range u.Src {
+		if s == r {
+			return true
+		}
+	}
+	return false
+}
+
+// writesReg reports whether the uop writes register r.
+func writesReg(u *isa.Uop, r isa.Reg) bool {
+	for _, d := range u.Dst {
+		if d == r {
+			return true
+		}
+	}
+	return false
+}
+
+// fuseWindow bounds the producer/consumer distance of pair fusion.
+const fuseWindow = 4
+
+// isFPFusable reports whether op participates in FP multiply-add style
+// fusion.
+func isFPFusable(op isa.Op) bool { return op == isa.OpFAdd || op == isa.OpFMul }
+
+// fusePairs merges dependent operation pairs whose intermediate value dies
+// at the consumer, producing one packed uop (micro-operation fusion and FP
+// multiply-add fusion, the paper's core-specific functional transformations,
+// §2.4). The producer at i and the consumer at j fuse when j-i <= fuseWindow,
+// the consumer overwrites the intermediate, no uop between them touches the
+// intermediate, and the producer's sources reach j unmodified (the fused uop
+// executes in the consumer's slot).
+func fusePairs(uops []isa.Uop, st *PassStats) []isa.Uop {
+	for j := 1; j < len(uops); j++ {
+		v := &uops[j]
+		vInt := isRegALU(v.Op) || isImmALU(v.Op)
+		vFP := isFPFusable(v.Op)
+		if !vInt && !vFP {
+			continue
+		}
+		t := v.Dst[0]
+		if t == isa.RegNone || t == isa.RegFlags || v.Dst[0] != t {
+			continue
+		}
+		// Locate t among v's sources; normalize it to the first position.
+		var other isa.Reg = isa.RegNone
+		switch {
+		case v.Src[0] == t && v.Src[1] == t:
+			continue
+		case v.Src[0] == t:
+			other = v.Src[1]
+		case v.Src[1] == t && isCommutative(v.Op):
+			other = v.Src[0]
+		default:
+			continue
+		}
+		// Find the last writer of t before j; a reader of t encountered
+		// first makes the intermediate live beyond the pair.
+		i := -1
+		for k := j - 1; k >= 0 && j-k <= fuseWindow; k-- {
+			if readsReg(&uops[k], t) {
+				break
+			}
+			if writesReg(&uops[k], t) {
+				i = k
+				break
+			}
+		}
+		if i < 0 {
+			continue
+		}
+		u := &uops[i]
+		uInt := isRegALU(u.Op) || isImmALU(u.Op)
+		uFP := isFPFusable(u.Op)
+		switch {
+		case vInt && uInt:
+			if isImmALU(u.Op) && isImmALU(v.Op) {
+				continue // one shared immediate slot
+			}
+		case vFP && uFP:
+			// FP pair: no immediate forms exist.
+		default:
+			continue
+		}
+		if u.Dst[0] != t || u.Dst[1] != isa.RegNone {
+			continue
+		}
+		// The producer's sources must reach the consumer's slot unmodified.
+		legal := true
+		for k := i + 1; k < j && legal; k++ {
+			for _, src := range u.Src {
+				if src != isa.RegNone && writesReg(&uops[k], src) {
+					legal = false
+				}
+			}
+		}
+		if !legal {
+			continue
+		}
+		op := isa.OpFusedAluAlu
+		if vFP {
+			op = isa.OpFusedFP
+		}
+		w := isa.NewUop(op)
+		w.SubOps = [2]isa.Op{u.Op, v.Op}
+		w.Dst[0] = t
+		w.Src[0] = u.Src[0]
+		w.Src[1] = u.Src[1]
+		w.Src[2] = other
+		if isImmALU(u.Op) {
+			w.Imm = u.Imm
+		} else if isImmALU(v.Op) {
+			w.Imm = v.Imm
+		}
+		uops[j] = w
+		uops[i] = isa.NewUop(isa.OpNop)
+		st.AluPairsFused++
+	}
+	return sweepNops(uops)
+}
+
+// simdWindow bounds how far ahead simdify searches for a packable partner.
+const simdWindow = 4
+
+// simdify packs independent same-opcode register-form ALU pairs into one
+// two-lane SIMD uop (SIMDification, §2.4). The second lane at j is hoisted
+// into the first lane's slot at i, which is legal when nothing between them
+// produces the second lane's sources or touches its destination, and the
+// second lane does not consume the first lane's result.
+func simdify(uops []isa.Uop, st *PassStats) []isa.Uop {
+	for i := 0; i < len(uops); i++ {
+		u := &uops[i]
+		if !isRegALU(u.Op) {
+			continue
+		}
+		d1 := u.Dst[0]
+		if d1 == isa.RegNone || d1 == isa.RegFlags {
+			continue
+		}
+		for j := i + 1; j < len(uops) && j-i <= simdWindow; j++ {
+			v := &uops[j]
+			if v.Op != u.Op {
+				continue
+			}
+			d2 := v.Dst[0]
+			if d2 == isa.RegNone || d2 == d1 || d2 == isa.RegFlags {
+				continue
+			}
+			// Lane independence: the second lane must not consume the
+			// first lane's result.
+			if v.Src[0] == d1 || v.Src[1] == d1 {
+				continue
+			}
+			// Hoist legality: nothing in (i, j) writes v's sources or
+			// reads/writes v's destination.
+			legal := true
+			for k := i + 1; k < j && legal; k++ {
+				w := &uops[k]
+				if readsReg(w, d2) || writesReg(w, d2) {
+					legal = false
+					break
+				}
+				for _, src := range v.Src {
+					if src != isa.RegNone && writesReg(w, src) {
+						legal = false
+						break
+					}
+				}
+			}
+			if !legal {
+				continue
+			}
+			w := isa.NewUop(isa.OpSimd2)
+			w.SubOps[0] = u.Op
+			w.Dst[0], w.Dst[1] = d1, d2
+			w.Src[0], w.Src[1] = u.Src[0], u.Src[1]
+			w.Src[2], w.Src[3] = v.Src[0], v.Src[1]
+			uops[i] = w
+			uops[j] = isa.NewUop(isa.OpNop)
+			st.SimdPacked++
+			break
+		}
+	}
+	return sweepNops(uops)
+}
+
+// schedule reorders uops by dynamic-critical-path list scheduling: ready
+// uops with the longest remaining dependency height go first. Memory order
+// is preserved by the dependency graph's memory chain; the trace-exit uop
+// stays last.
+func schedule(uops []isa.Uop, st *PassStats) []isa.Uop {
+	n := len(uops)
+	if n < 3 {
+		return uops
+	}
+	body := n
+	exitPinned := uops[n-1].Op.Class() == isa.ClassBranch
+	if exitPinned {
+		body = n - 1
+	}
+	g := buildFullGraph(uops)
+	h := g.heights(uops)
+	indeg := make([]int, n)
+	for i := 0; i < n; i++ {
+		for _, s := range g.succs[i] {
+			indeg[s]++
+		}
+	}
+	order := make([]int, 0, n)
+	scheduled := make([]bool, n)
+	for len(order) < body {
+		best := -1
+		for i := 0; i < body; i++ {
+			if scheduled[i] || indeg[i] > 0 {
+				continue
+			}
+			if best < 0 || h[i] > h[best] {
+				best = i
+			}
+		}
+		if best < 0 {
+			// Cycle would be a graph bug; fall back to original order.
+			return uops
+		}
+		scheduled[best] = true
+		order = append(order, best)
+		for _, s := range g.succs[best] {
+			indeg[s]--
+		}
+	}
+	out := make([]isa.Uop, 0, n)
+	for k, idx := range order {
+		if idx != k {
+			st.Scheduled++
+		}
+		out = append(out, uops[idx])
+	}
+	if exitPinned {
+		out = append(out, uops[n-1])
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package tcache
+
+import (
+	"testing"
+
+	"parrot/internal/isa"
+	"parrot/internal/trace"
+)
+
+func mkTrace(start uint64, n int) *trace.Trace {
+	tr := &trace.Trace{TID: trace.TID{Start: start}}
+	for i := 0; i < n; i++ {
+		u := isa.NewUop(isa.OpAdd)
+		u.Dst[0] = isa.GPR(i % 8)
+		tr.Uops = append(tr.Uops, u)
+	}
+	tr.NumInsts = n
+	tr.OrigUops = n
+	return tr
+}
+
+func TestInsertLookup(t *testing.T) {
+	c := New(64, 4)
+	tr := mkTrace(0x1000, 8)
+	if _, ok := c.Lookup(tr.TID.Key()); ok {
+		t.Fatal("empty cache must miss")
+	}
+	c.Insert(tr)
+	got, ok := c.Lookup(tr.TID.Key())
+	if !ok || got != tr {
+		t.Fatal("inserted trace must hit")
+	}
+	if c.Stats.Hits != 1 || c.Stats.Misses != 1 || c.Stats.Inserts != 1 {
+		t.Errorf("stats = %+v", c.Stats)
+	}
+}
+
+func TestWritebackReplaces(t *testing.T) {
+	c := New(64, 4)
+	tr := mkTrace(0x2000, 8)
+	c.Insert(tr)
+	opt := mkTrace(0x2000, 6)
+	opt.Optimized = true
+	c.Insert(opt)
+	got, ok := c.Lookup(tr.TID.Key())
+	if !ok || !got.Optimized || len(got.Uops) != 6 {
+		t.Fatal("write-back must replace the resident trace in place")
+	}
+	if c.Stats.Writebacks != 1 || c.Stats.Inserts != 1 {
+		t.Errorf("stats = %+v", c.Stats)
+	}
+	if c.Occupancy() != 1 {
+		t.Errorf("occupancy = %d", c.Occupancy())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(2, 2) // single set, 2 ways
+	a, b, d := mkTrace(0x100, 4), mkTrace(0x200, 4), mkTrace(0x300, 4)
+	c.Insert(a)
+	c.Insert(b)
+	c.Lookup(a.TID.Key()) // a becomes MRU
+	c.Insert(d)           // evicts b
+	if !c.Probe(a.TID.Key()) {
+		t.Error("MRU trace evicted")
+	}
+	if c.Probe(b.TID.Key()) {
+		t.Error("LRU trace survived")
+	}
+	if c.Stats.Evictions != 1 {
+		t.Errorf("evictions = %d", c.Stats.Evictions)
+	}
+}
+
+func TestProbeSilent(t *testing.T) {
+	c := New(8, 2)
+	c.Insert(mkTrace(0x100, 4))
+	before := c.Stats
+	if !c.Probe(trace.TID{Start: 0x100}.Key()) {
+		t.Fatal("probe must find resident trace")
+	}
+	if c.Stats != before {
+		t.Error("probe must not perturb statistics")
+	}
+}
+
+func TestResident(t *testing.T) {
+	c := New(16, 4)
+	for i := 0; i < 5; i++ {
+		c.Insert(mkTrace(uint64(0x1000+i*64), 4))
+	}
+	if got := len(c.Resident()); got != 5 {
+		t.Errorf("resident = %d", got)
+	}
+	if c.Frames() < 16 {
+		t.Errorf("frames = %d", c.Frames())
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	c := New(16, 4)
+	tr := mkTrace(0x1000, 4)
+	c.Insert(tr)
+	c.Lookup(tr.TID.Key())
+	c.Lookup(trace.TID{Start: 0x9999}.Key())
+	if got := c.Stats.HitRate(); got != 0.5 {
+		t.Errorf("hit rate = %v", got)
+	}
+}

@@ -1,0 +1,106 @@
+package tpred
+
+import "testing"
+
+// run feeds a TID key sequence, returning the number of confident correct
+// predictions.
+func run(p *Predictor, seq []uint64) (correct, confident int) {
+	for _, actual := range seq {
+		pred, ok := p.Predict()
+		if ok {
+			confident++
+			if pred == actual {
+				correct++
+			}
+		}
+		p.Train(actual, pred, ok)
+	}
+	return correct, confident
+}
+
+func TestLearnsRepeatingSequence(t *testing.T) {
+	p := New(2048)
+	var seq []uint64
+	for i := 0; i < 100; i++ {
+		seq = append(seq, 11, 22, 33) // steady loop of three traces
+	}
+	correct, confident := run(p, seq)
+	if confident < 250 {
+		t.Errorf("confident predictions = %d, want most of 300", confident)
+	}
+	if correct < confident*95/100 {
+		t.Errorf("correct = %d of %d", correct, confident)
+	}
+}
+
+func TestLearnsLoopWithExit(t *testing.T) {
+	// A loop trace repeated 8 times then an exit trace, repeated: mimics
+	// unrolled hot loops. The exit is history-distinguishable only if the
+	// history hash separates run lengths — some mispredicts are expected,
+	// but the body must predict well.
+	p := New(4096)
+	var seq []uint64
+	for rep := 0; rep < 60; rep++ {
+		for i := 0; i < 8; i++ {
+			seq = append(seq, 77)
+		}
+		seq = append(seq, 88)
+	}
+	correct, confident := run(p, seq)
+	if confident == 0 {
+		t.Fatal("predictor never became confident")
+	}
+	if float64(correct)/float64(confident) < 0.6 {
+		t.Errorf("accuracy = %d/%d", correct, confident)
+	}
+}
+
+func TestNoConfidenceOnRandom(t *testing.T) {
+	p := New(1024)
+	// A non-repeating sequence must not produce a flood of confident wrong
+	// predictions.
+	var seq []uint64
+	x := uint64(1)
+	for i := 0; i < 3000; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		seq = append(seq, x)
+	}
+	_, confident := run(p, seq)
+	if confident > 300 {
+		t.Errorf("confident predictions on random stream = %d", confident)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	p := New(256)
+	var seq []uint64
+	for i := 0; i < 50; i++ {
+		seq = append(seq, 1, 2)
+	}
+	run(p, seq)
+	if p.Stats.Predictions != p.Stats.Correct+p.Stats.Mispredicts {
+		t.Errorf("prediction accounting broken: %+v", p.Stats)
+	}
+	if p.Stats.Updates != 100 || p.Stats.Lookups != 100 {
+		t.Errorf("lookup/update counts: %+v", p.Stats)
+	}
+}
+
+func TestResetHistory(t *testing.T) {
+	p := New(256)
+	run(p, []uint64{1, 2, 3})
+	p.ResetHistory()
+	// After reset the index must be the zero-history slot; just ensure no
+	// panic and that prediction still functions.
+	if _, ok := p.Predict(); ok {
+		// A confident prediction from zero history is possible only if
+		// trained there; either way this must not crash.
+		t.Log("confident prediction from reset history")
+	}
+}
+
+func TestEntriesRounding(t *testing.T) {
+	if New(2000).Entries() != 2048 {
+		t.Errorf("entries = %d", New(2000).Entries())
+	}
+}

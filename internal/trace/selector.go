@@ -1,0 +1,181 @@
+package trace
+
+import (
+	"parrot/internal/isa"
+	"parrot/internal/workload"
+)
+
+// Segment is one completed trace-selection unit: a run of committed
+// instructions with its TID. Segments drive both pipelines — hot execution
+// replays the trace-cache copy of the segment, cold execution fetches and
+// decodes its instructions individually.
+type Segment struct {
+	TID   TID
+	Insts []workload.DynInst
+
+	// Uops is the total decoded uop count.
+	Uops int
+
+	// Joined counts how many identical consecutive traces were merged into
+	// this segment (1 = no joining). Joining implements implicit loop
+	// unrolling (§2.2).
+	Joined int
+}
+
+// NumInsts returns the instruction count of the segment.
+func (s *Segment) NumInsts() int { return len(s.Insts) }
+
+// Selector is the deterministic trace-selection state machine of §2.2,
+// applied to the in-order committed instruction stream:
+//
+//   - capacity limitation: frames of at most 64 uops;
+//   - complete basic blocks: traces terminate on CTIs (except for extremely
+//     large blocks, which split mid-block at the frame boundary);
+//   - terminating CTIs: indirect jumps (and episode discontinuities, which
+//     behave like them) always terminate; backward taken branches terminate;
+//   - RETURN terminates only when it exits the outermost procedure context
+//     already encountered in the trace, tracked with a context counter
+//     incremented on calls and decremented on returns (procedure inlining);
+//   - two or more identical consecutive traces are joined into one, up to
+//     the capacity limit (loop unrolling).
+type Selector struct {
+	cur     Segment
+	ctx     int // procedure context counter
+	pending *Segment
+
+	// Stats.
+	Built   uint64 // segments emitted
+	JoinOps uint64 // joining events
+}
+
+// NewSelector returns an empty selection state machine.
+func NewSelector() *Selector { return &Selector{} }
+
+// Feed consumes one committed instruction and returns any completed
+// segments (usually none or one; flushing joined traces can return one
+// while another remains pending).
+func (s *Selector) Feed(d workload.DynInst) []Segment {
+	var out []Segment
+
+	nu := len(d.Inst.Uops)
+	// Capacity: never exceed the frame. If appending would overflow, close
+	// the current trace first (mid-block split for extremely large blocks).
+	if s.cur.Uops > 0 && s.cur.Uops+nu > MaxUops {
+		out = append(out, s.close()...)
+	}
+
+	if len(s.cur.Insts) == 0 {
+		s.cur.TID = TID{Start: d.Inst.PC}
+		s.ctx = 0
+	}
+	s.cur.Insts = append(s.cur.Insts, d)
+	s.cur.Uops += nu
+
+	terminate := false
+	switch d.Inst.Kind {
+	case isa.KindBranch:
+		s.cur.TID = s.cur.TID.WithDir(d.Taken)
+		// Backward taken branches terminate a trace (loop iteration cut).
+		if d.Taken && d.Inst.Target <= d.Inst.PC {
+			terminate = true
+		}
+	case isa.KindJumpInd:
+		terminate = true
+	case isa.KindCall:
+		s.ctx++
+	case isa.KindRet:
+		if s.ctx > 0 {
+			s.ctx--
+		} else {
+			// Exits the outermost context seen in this trace.
+			terminate = true
+		}
+	}
+	if d.EpisodeEnd {
+		// The dynamic successor is unrelated code: treat like an indirect
+		// control transfer.
+		terminate = true
+	}
+	if s.cur.Uops >= MaxUops {
+		terminate = true
+	}
+	if terminate {
+		out = append(out, s.close()...)
+	}
+	return out
+}
+
+// close completes the current segment, applying the joining rule, and
+// returns any segment that is now final.
+func (s *Selector) close() []Segment {
+	if len(s.cur.Insts) == 0 {
+		return nil
+	}
+	done := s.cur
+	done.Joined = 1
+	s.cur = Segment{}
+	s.ctx = 0
+
+	if s.pending != nil {
+		p := s.pending
+		if sameUnit(p, &done) && p.Uops+done.Uops <= MaxUops {
+			// Join: identical consecutive traces merge (loop unrolling).
+			p.TID = p.TID.Concat(done.TID)
+			p.Insts = append(p.Insts, done.Insts...)
+			p.Uops += done.Uops
+			p.Joined++
+			s.JoinOps++
+			return nil
+		}
+		// Flush the pending trace; the new one becomes pending.
+		outp := *p
+		s.pending = &done
+		s.Built++
+		return []Segment{outp}
+	}
+	s.pending = &done
+	return nil
+}
+
+// NDirsPerUnit returns the direction bits contributed by one joined unit.
+func (s *Segment) NDirsPerUnit() int {
+	if s.Joined == 0 {
+		return int(s.TID.NDirs)
+	}
+	return int(s.TID.NDirs) / s.Joined
+}
+
+// sameUnit reports whether done repeats the base (per-unit) trace of p.
+func sameUnit(p *Segment, done *Segment) bool {
+	if p.TID.Start != done.TID.Start {
+		return false
+	}
+	unitDirs := p.NDirsPerUnit()
+	if int(done.TID.NDirs) != unitDirs {
+		return false
+	}
+	if len(done.Insts)*p.Joined != len(p.Insts) {
+		return false
+	}
+	// Compare instruction sequences of the last unit of p with done.
+	off := len(p.Insts) - len(done.Insts)
+	for i := range done.Insts {
+		if p.Insts[off+i].Inst != done.Insts[i].Inst ||
+			p.Insts[off+i].Taken != done.Insts[i].Taken {
+			return false
+		}
+	}
+	return true
+}
+
+// Flush force-completes any in-progress and pending segments (stream end).
+func (s *Selector) Flush() []Segment {
+	var out []Segment
+	out = append(out, s.close()...)
+	if s.pending != nil {
+		out = append(out, *s.pending)
+		s.pending = nil
+		s.Built++
+	}
+	return out
+}

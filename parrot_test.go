@@ -1,0 +1,111 @@
+package parrot_test
+
+import (
+	"bytes"
+	"testing"
+
+	"parrot"
+)
+
+func TestFacadeModelsAndApps(t *testing.T) {
+	if len(parrot.Models()) != 7 {
+		t.Fatalf("models = %d", len(parrot.Models()))
+	}
+	if len(parrot.StandardModels()) != 6 {
+		t.Fatalf("standard models = %d", len(parrot.StandardModels()))
+	}
+	if len(parrot.Apps()) != 44 {
+		t.Fatalf("apps = %d", len(parrot.Apps()))
+	}
+	if len(parrot.KillerApps()) != 3 {
+		t.Fatalf("killer apps = %d", len(parrot.KillerApps()))
+	}
+	if _, err := parrot.GetModel("TON"); err != nil {
+		t.Error(err)
+	}
+	if _, err := parrot.GetModel("NOPE"); err == nil {
+		t.Error("unknown model must error")
+	}
+	if _, err := parrot.AppByName("swim"); err != nil {
+		t.Error(err)
+	}
+	if _, err := parrot.AppByName("nope"); err == nil {
+		t.Error("unknown app must error")
+	}
+}
+
+func TestFacadeRun(t *testing.T) {
+	r, err := parrot.RunByName("TON", "gzip", 25000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Insts == 0 || r.IPC() <= 0 {
+		t.Fatalf("empty result: %+v", r)
+	}
+	if r.Model != parrot.TON || r.App != "gzip" {
+		t.Errorf("labels wrong: %s/%s", r.Model, r.App)
+	}
+}
+
+func TestFacadeRunByNameErrors(t *testing.T) {
+	if _, err := parrot.RunByName("XX", "gzip", 1000); err == nil {
+		t.Error("bad model must error")
+	}
+	if _, err := parrot.RunByName("N", "xx", 1000); err == nil {
+		t.Error("bad app must error")
+	}
+}
+
+func TestSampleTracesAndOptimizer(t *testing.T) {
+	app, _ := parrot.AppByName("flash")
+	traces := parrot.SampleTraces(app, 20000, 50)
+	if len(traces) != 50 {
+		t.Fatalf("traces = %d", len(traces))
+	}
+	o := parrot.NewOptimizer(parrot.AllOptimizations())
+	reduced := 0
+	for _, tr := range traces {
+		before := len(tr.Uops)
+		res := o.Optimize(tr)
+		if res.UopsAfter != len(tr.Uops) {
+			t.Fatal("result inconsistent with trace")
+		}
+		if len(tr.Uops) < before {
+			reduced++
+		}
+		if !tr.Optimized {
+			t.Fatal("trace not marked optimized")
+		}
+	}
+	if reduced < 25 {
+		t.Errorf("only %d/50 traces shrank", reduced)
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	apps := parrot.Apps()[:2]
+	res := parrot.Experiments(parrot.ExperimentConfig{Insts: 15000, Apps: apps})
+	if res.PMax <= 0 {
+		t.Error("missing P_MAX")
+	}
+	if got := len(res.AllFigures()); got != 11 {
+		t.Errorf("figures = %d", got)
+	}
+}
+
+func TestTraceFileFacade(t *testing.T) {
+	app, _ := parrot.AppByName("gzip")
+	var buf bytes.Buffer
+	if err := parrot.CaptureTrace(&buf, app, 10000); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := parrot.GetModel(parrot.TON)
+	fromFile, err := parrot.RunTraceFile(m, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := parrot.Run(m, app, 10000)
+	if fromFile.Cycles != direct.Cycles || fromFile.DynEnergy != direct.DynEnergy {
+		t.Errorf("trace-file replay diverges from direct run")
+	}
+}
