@@ -15,6 +15,9 @@
 //	parrotbench -sensitivity     # blazing-threshold / trace-cache sweeps
 //	parrotbench -splitstudy      # split-core future-work study (§5)
 //	parrotbench -quick           # restrict studies to 1 app per suite
+//	parrotbench -simbench        # simulation-kernel throughput report (JSON)
+//	parrotbench -cpuprofile f    # write a CPU profile (any mode)
+//	parrotbench -memprofile f    # write a heap profile on exit (any mode)
 package main
 
 import (
@@ -27,10 +30,18 @@ import (
 	"parrot"
 	"parrot/internal/config"
 	"parrot/internal/experiments"
+	"parrot/internal/profiling"
 	"parrot/internal/workload"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	fig := flag.String("fig", "", "figure to regenerate (4.1 ... 4.11); empty = all")
 	table := flag.String("table", "", "table to regenerate (3.1 or 3.2)")
 	n := flag.Int("n", 100_000, "dynamic instructions per application")
@@ -41,7 +52,22 @@ func main() {
 	splitstudy := flag.Bool("splitstudy", false, "run the split-core future-work study (§5)")
 	quick := flag.Bool("quick", false, "restrict studies to one application per suite")
 	jsonOut := flag.Bool("json", false, "emit the full result matrix as JSON instead of figures")
+	simbench := flag.Bool("simbench", false, "measure simulation-kernel throughput and emit a JSON report")
+	prof := profiling.Define()
 	flag.Parse()
+
+	if err := prof.Start(); err != nil {
+		return err
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
+
+	if *simbench {
+		return runSimBench(*n, os.Stdout)
+	}
 
 	if *table != "" {
 		switch *table {
@@ -50,10 +76,9 @@ func main() {
 		case "3.2":
 			fmt.Println(experiments.Table32())
 		default:
-			fmt.Fprintf(os.Stderr, "unknown table %q (3.1 or 3.2)\n", *table)
-			os.Exit(1)
+			return fmt.Errorf("unknown table %q (3.1 or 3.2)", *table)
 		}
-		return
+		return nil
 	}
 
 	var studyApps []workload.Profile
@@ -65,16 +90,16 @@ func main() {
 	}
 	if *ablation {
 		fmt.Println(experiments.Ablation(studyApps, *n))
-		return
+		return nil
 	}
 	if *sensitivity {
 		fmt.Println(experiments.BlazingSensitivity(studyApps, *n, nil))
 		fmt.Println(experiments.TCSizeSensitivity(studyApps, *n, nil))
-		return
+		return nil
 	}
 	if *splitstudy {
 		fmt.Println(experiments.SplitCoreStudy(studyApps, *n))
-		return
+		return nil
 	}
 
 	cfg := parrot.ExperimentConfig{Insts: *n}
@@ -83,8 +108,7 @@ func main() {
 		for _, id := range strings.Split(*models, ",") {
 			m, err := parrot.GetModel(parrot.ModelID(strings.TrimSpace(id)))
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return err
 			}
 			ms = append(ms, m)
 		}
@@ -94,11 +118,7 @@ func main() {
 	start := time.Now()
 	res := parrot.Experiments(cfg)
 	if *jsonOut {
-		if err := res.WriteJSON(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		return
+		return res.WriteJSON(os.Stdout)
 	}
 	fmt.Printf("simulated %d applications × %d models in %v  (P_MAX anchor: %s)\n\n",
 		len(res.Apps()), len(res.Models()), time.Since(start).Round(time.Millisecond), res.PMaxApp)
@@ -120,14 +140,13 @@ func main() {
 		for _, f := range res.AllFigures() {
 			fmt.Println(f.Table)
 		}
-		return
+		return nil
 	}
 	for _, f := range res.AllFigures() {
 		if strings.HasSuffix(f.ID, *fig) {
 			fmt.Println(f.Table)
-			return
+			return nil
 		}
 	}
-	fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
-	os.Exit(1)
+	return fmt.Errorf("unknown figure %q", *fig)
 }

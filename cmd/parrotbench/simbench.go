@@ -1,0 +1,180 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"time"
+
+	"parrot"
+	"parrot/internal/config"
+	"parrot/internal/core"
+	"parrot/internal/experiments"
+)
+
+// simBenchReport is the schema of BENCH_simkernel.json: the simulation
+// kernel's throughput and allocation profile, recorded so kernel
+// regressions are visible in review diffs. Regenerate with:
+//
+//	go run ./cmd/parrotbench -simbench -n 50000 > BENCH_simkernel.json
+type simBenchReport struct {
+	Benchmark   string `json:"benchmark"`
+	Date        string `json:"date"`
+	GoVersion   string `json:"go"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	InstsPerApp int    `json:"insts_per_app"`
+	Apps        int    `json:"apps"`
+	Models      int    `json:"models"`
+
+	// MatrixPasses holds consecutive full-matrix runs. The first pass pays
+	// every compulsory cost (program synthesis, machine construction); later
+	// passes run entirely out of the machine pool and program cache, which
+	// is the regime the experiment driver and benchmarks operate in.
+	MatrixPasses []matrixPass `json:"matrix_passes"`
+
+	// SteadyState profiles repeated single simulations on a warm pool —
+	// the ~0 allocs/op gate for the slab-backed pipeline.
+	SteadyState steadyState `json:"steady_state"`
+
+	Pool poolCounters `json:"pool"`
+
+	// SeedBaseline is the same matrix measurement taken before the
+	// zero-allocation kernel work (machine pooling, ring-buffer dispatch,
+	// slab-backed traces), kept in the report as the regression reference.
+	SeedBaseline seedBaseline `json:"seed_baseline"`
+
+	Notes string `json:"notes,omitempty"`
+}
+
+type seedBaseline struct {
+	Description string  `json:"description"`
+	InstsPerApp int     `json:"insts_per_app"`
+	WallSeconds float64 `json:"wall_seconds"`
+	SimMIPS     float64 `json:"sim_mips"`
+	Allocs      uint64  `json:"allocs"`
+	AllocBytes  uint64  `json:"alloc_bytes"`
+}
+
+// preKernelBaseline is the 44-app × 7-model matrix at 50k insts/app measured
+// on the pre-pooling simulator (every run constructed a fresh machine and
+// regenerated its program; dispatch carried pointer-typed uops through
+// grow-forever slices).
+var preKernelBaseline = seedBaseline{
+	Description: "pre-refactor seed: fresh machine + regenerated program per run, pointer-uop append queues",
+	InstsPerApp: 50_000,
+	WallSeconds: 9.25,
+	SimMIPS:     1.17,
+	Allocs:      15_090_000,
+	AllocBytes:  3_340_000_000,
+}
+
+type matrixPass struct {
+	Pass        string  `json:"pass"` // "cold" or "steady"
+	WallSeconds float64 `json:"wall_seconds"`
+	SimMIPS     float64 `json:"sim_mips"`
+	Allocs      uint64  `json:"allocs"`
+	AllocBytes  uint64  `json:"alloc_bytes"`
+}
+
+type steadyState struct {
+	Model            string  `json:"model"`
+	App              string  `json:"app"`
+	Insts            int     `json:"insts"`
+	Runs             int     `json:"runs"`
+	AllocsPerRun     float64 `json:"allocs_per_run"`
+	AllocBytesPerRun float64 `json:"alloc_bytes_per_run"`
+	SimMIPS          float64 `json:"sim_mips"`
+}
+
+type poolCounters struct {
+	Gets     uint64 `json:"gets"`
+	Reuses   uint64 `json:"reuses"`
+	Puts     uint64 `json:"puts"`
+	Discards uint64 `json:"discards"`
+}
+
+// memDelta brackets a measurement with runtime.ReadMemStats.
+type memDelta struct{ m0 runtime.MemStats }
+
+func startMemDelta() *memDelta {
+	d := &memDelta{}
+	runtime.ReadMemStats(&d.m0)
+	return d
+}
+
+func (d *memDelta) stop() (allocs, bytes uint64) {
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	return m1.Mallocs - d.m0.Mallocs, m1.TotalAlloc - d.m0.TotalAlloc
+}
+
+// runSimBench measures the kernel and writes the JSON report.
+func runSimBench(n int, out io.Writer) error {
+	rep := simBenchReport{
+		Benchmark:    "simkernel",
+		Date:         time.Now().UTC().Format(time.RFC3339),
+		GoVersion:    runtime.Version(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		InstsPerApp:  n,
+		Models:       len(config.All()),
+		SeedBaseline: preKernelBaseline,
+		Notes: "matrix_passes[0] pays compulsory costs (program synthesis, machine construction); " +
+			"later passes reuse pooled machines and cached programs. steady_state is per complete " +
+			"warmup+measure simulation, allocations included.",
+	}
+
+	// Full experiment matrix, twice: cold then steady.
+	cfg := experiments.Config{Insts: n}
+	for pass, name := range []string{"cold", "steady"} {
+		d := startMemDelta()
+		start := time.Now()
+		res := experiments.Run(cfg)
+		wall := time.Since(start).Seconds()
+		allocs, bytes := d.stop()
+		var insts uint64
+		for _, id := range res.Models() {
+			for _, p := range res.Apps() {
+				insts += res.Get(id, p.Name).Insts
+			}
+		}
+		if pass == 0 {
+			rep.Apps = len(res.Apps())
+		}
+		rep.MatrixPasses = append(rep.MatrixPasses, matrixPass{
+			Pass:        name,
+			WallSeconds: wall,
+			SimMIPS:     float64(insts) / wall / 1e6,
+			Allocs:      allocs,
+			AllocBytes:  bytes,
+		})
+	}
+
+	// Steady-state single-run loop on a warm pool.
+	const ssRuns, ssInsts = 200, 30_000
+	m, _ := parrot.GetModel(parrot.TON)
+	app, _ := parrot.AppByName("flash")
+	parrot.Run(m, app, ssInsts) // prime
+	d := startMemDelta()
+	start := time.Now()
+	for i := 0; i < ssRuns; i++ {
+		parrot.Run(m, app, ssInsts)
+	}
+	wall := time.Since(start).Seconds()
+	allocs, bytes := d.stop()
+	rep.SteadyState = steadyState{
+		Model:            string(parrot.TON),
+		App:              "flash",
+		Insts:            ssInsts,
+		Runs:             ssRuns,
+		AllocsPerRun:     float64(allocs) / ssRuns,
+		AllocBytesPerRun: float64(bytes) / ssRuns,
+		SimMIPS:          float64(uint64(ssRuns)*ssInsts) / wall / 1e6,
+	}
+
+	st := core.DefaultPool.Stats()
+	rep.Pool = poolCounters{Gets: st.Gets, Reuses: st.Reuses, Puts: st.Puts, Discards: st.Discards}
+
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&rep)
+}

@@ -7,6 +7,7 @@
 //	parrotsim -model TON -app swim -n 200000
 //	parrotsim -model TON -tracefile swim.ptrace
 //	parrotsim -list
+//	parrotsim -model TON -app swim -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"parrot/internal/config"
 	"parrot/internal/core"
 	"parrot/internal/energy"
+	"parrot/internal/profiling"
 	"parrot/internal/tracefile"
 	"parrot/internal/workload"
 )
@@ -54,7 +56,18 @@ func main() {
 	n := flag.Int("n", 0, "dynamic instructions (0 = profile default)")
 	traceFile := flag.String("tracefile", "", "replay a captured trace file instead of synthesizing -app")
 	list := flag.Bool("list", false, "list models and applications, then exit")
+	prof := profiling.Define()
 	flag.Parse()
+
+	if err := prof.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
 
 	if *list {
 		fmt.Println("models:")

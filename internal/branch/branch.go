@@ -51,6 +51,17 @@ func NewPredictor(entries int, histBits uint) *Predictor {
 // Entries returns the table size.
 func (p *Predictor) Entries() int { return len(p.table) }
 
+// Reset returns the predictor to its just-constructed state: counters back
+// to weakly not-taken, history and statistics cleared. Part of the
+// machine-pooling Reset protocol.
+func (p *Predictor) Reset() {
+	for i := range p.table {
+		p.table[i] = 1
+	}
+	p.history = 0
+	p.Stats = Stats{}
+}
+
 func (p *Predictor) index(pc uint64) uint32 {
 	return (uint32(pc>>2) ^ p.history) & p.mask
 }
@@ -128,6 +139,14 @@ func NewBTB(entries int) *BTB {
 // Entries returns the table size.
 func (b *BTB) Entries() int { return len(b.tags) }
 
+// Reset clears all entries and statistics (machine-pooling Reset protocol).
+func (b *BTB) Reset() {
+	for i := range b.tags {
+		b.tags[i], b.targets[i], b.valid[i] = 0, 0, false
+	}
+	b.Stats = Stats{}
+}
+
 // Lookup returns the stored target for pc, if present.
 func (b *BTB) Lookup(pc uint64) (target uint64, ok bool) {
 	b.Stats.Lookups++
@@ -189,3 +208,13 @@ func (r *RAS) Pop() (addr uint64, ok bool) {
 
 // Depth returns the current occupancy.
 func (r *RAS) Depth() int { return r.depth }
+
+// Reset empties the stack and clears statistics (machine-pooling Reset
+// protocol).
+func (r *RAS) Reset() {
+	for i := range r.stack {
+		r.stack[i] = 0
+	}
+	r.top, r.depth = 0, 0
+	r.Stats = Stats{}
+}

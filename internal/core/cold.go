@@ -142,7 +142,7 @@ func (m *Machine) coldFetchInst(d *workload.DynInst) {
 	// Enqueue the decoded uops.
 	for k := range in.Uops {
 		it := dispatchItem{
-			uop:     &in.Uops[k],
+			uop:     in.Uops[k],
 			lastUop: k == len(in.Uops)-1,
 		}
 		if in.Uops[k].Op.IsMem() {

@@ -119,7 +119,7 @@ func TestDQBackpressureBlocksFetch(t *testing.T) {
 	for i := 0; i < 4*m.model.Core.Width+1; i++ {
 		u := isa.NewUop(isa.OpAdd)
 		u.Dst[0] = isa.GPR(1)
-		m.enqueue(dispatchItem{uop: &u})
+		m.enqueue(dispatchItem{uop: u})
 	}
 	if !m.frontBlocked() {
 		t.Error("oversized dispatch queue must block fetch")

@@ -44,8 +44,10 @@ func (m *Machine) execHot(seg *trace.Segment, tr *trace.Trace) {
 		}
 	}
 
-	// Collect the instance's memory addresses in uop order.
-	addrs := make([]uint64, 0, tr.MemOps)
+	// Collect the instance's memory addresses in uop order, into a scratch
+	// buffer reused across segments (the steady-state hot loop allocates
+	// nothing).
+	addrs := m.addrScratch[:0]
 	for i := range seg.Insts {
 		d := &seg.Insts[i]
 		for _, u := range d.Inst.Uops {
@@ -54,6 +56,7 @@ func (m *Machine) execHot(seg *trace.Segment, tr *trace.Trace) {
 			}
 		}
 	}
+	m.addrScratch = addrs
 
 	// Trace-cache read pipeline startup; back-to-back hot segments stream
 	// without a bubble.
@@ -66,12 +69,12 @@ func (m *Machine) execHot(seg *trace.Segment, tr *trace.Trace) {
 
 	k := 0
 	for i := range tr.Uops {
-		for !m.hotSupplyFree() || len(m.dq)-m.dqHead > 4*m.model.TraceFetchUops {
+		for !m.hotSupplyFree() || m.dqLen() > 4*m.model.TraceFetchUops {
 			m.tick()
 		}
 		m.useHotSupply()
 		it := dispatchItem{
-			uop: &tr.Uops[i],
+			uop: tr.Uops[i],
 			hot: true,
 		}
 		if tr.Uops[i].Op.IsMem() {

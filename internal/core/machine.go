@@ -32,9 +32,11 @@ import (
 const cacheLineMask = ^uint64(63)
 
 // dispatchItem is one decoded uop waiting between the front-ends and the
-// rename/dispatch stage.
+// rename/dispatch stage. Uops travel by value: the dispatch queue is a
+// preallocated ring of pointer-free items, so the steady-state tick loop
+// never touches the heap and the GC never scans it.
 type dispatchItem struct {
-	uop      *isa.Uop
+	uop      isa.Uop
 	memAddr  uint64
 	lastUop  bool // last uop of its macro-instruction
 	traceEnd bool // last uop of an atomic trace
@@ -82,13 +84,27 @@ type Machine struct {
 	supUsed         int
 	optBusyUntil    uint64
 
+	// dq is the dispatch queue: a power-of-two ring buffer of value-typed
+	// items. It grows (rarely, by doubling) only until the high-water mark
+	// of a run; in steady state pushes and pops are allocation-free.
 	dq     []dispatchItem
-	dqHead int
+	dqHead uint64
+	dqTail uint64
 
+	// pendingTraceInsts credits committed atomic traces with instruction
+	// counts; consumed FIFO via ptiHead and compacted when drained.
 	pendingTraceInsts []int
-	lastSegHot        bool
-	lastDispatchHot   bool
-	switchStallUntil  uint64
+	ptiHead           int
+
+	lastSegHot       bool
+	lastDispatchHot  bool
+	switchStallUntil uint64
+
+	// Reused scratch: per-hot-segment memory addresses, and a slab of
+	// traces evicted from the trace cache whose storage the next Build
+	// reuses.
+	addrScratch []uint64
+	freeTraces  []*trace.Trace
 
 	// Accounting.
 	insts        uint64
@@ -131,6 +147,7 @@ func New(model config.Model) *Machine {
 		ras:    branch.NewRAS(model.RASDepth),
 		sel:    trace.NewSelector(),
 		emodel: energy.NewModel(model.EnergyParams()),
+		dq:     make([]dispatchItem, 128), // power of two; grows on demand
 	}
 	if model.BPHistBits == 0 {
 		m.bp = branch.NewPredictor(model.BPEntries, 12)
@@ -162,6 +179,40 @@ func (m *Machine) dataAccess(addr uint64, write bool) int {
 	return m.hier.AccessData(addr, write)
 }
 
+// dqLen returns the number of queued dispatch items.
+func (m *Machine) dqLen() int { return int(m.dqTail - m.dqHead) }
+
+// dqPush enqueues one item, doubling the ring when full (rare: the queue is
+// bounded by front-end back-pressure plus one instruction's uops).
+func (m *Machine) dqPush(it dispatchItem) {
+	if m.dqLen() == len(m.dq) {
+		m.dqGrow()
+	}
+	m.dq[m.dqTail&uint64(len(m.dq)-1)] = it
+	m.dqTail++
+}
+
+// dqGrow doubles the ring, re-laying the live window out from index 0.
+func (m *Machine) dqGrow() {
+	bigger := make([]dispatchItem, 2*len(m.dq))
+	n := m.dqLen()
+	mask := uint64(len(m.dq) - 1)
+	for i := 0; i < n; i++ {
+		bigger[i] = m.dq[(m.dqHead+uint64(i))&mask]
+	}
+	m.dq = bigger
+	m.dqHead = 0
+	m.dqTail = uint64(n)
+}
+
+// dqFront returns the oldest queued item. Valid only while dqLen() > 0.
+func (m *Machine) dqFront() *dispatchItem {
+	return &m.dq[m.dqHead&uint64(len(m.dq)-1)]
+}
+
+// dqPop removes the oldest queued item.
+func (m *Machine) dqPop() { m.dqHead++ }
+
 // frontBlocked reports whether the cold front-end must stall this cycle.
 func (m *Machine) frontBlocked() bool {
 	if m.clock < m.fetchStallUntil {
@@ -175,7 +226,7 @@ func (m *Machine) frontBlocked() bool {
 		}
 		return true
 	}
-	if len(m.dq)-m.dqHead > 4*m.model.Core.Width {
+	if m.dqLen() > 4*m.model.Core.Width {
 		return true // decode back-pressure
 	}
 	return false
@@ -196,8 +247,8 @@ func (m *Machine) tick() {
 	if m.model.Split {
 		hotBudget = m.model.HotCore.Width
 	}
-	for m.dqHead < len(m.dq) {
-		it := &m.dq[m.dqHead]
+	for m.dqLen() > 0 {
+		it := m.dqFront()
 		eng := m.cold
 		budget := &coldBudget
 		if m.model.Split && it.hot {
@@ -226,17 +277,13 @@ func (m *Machine) tick() {
 			}
 			break
 		}
-		h := eng.Dispatch(it.uop, it.memAddr, it.lastUop, it.traceEnd)
+		h := eng.Dispatch(&it.uop, it.memAddr, it.lastUop, it.traceEnd)
 		if it.resolve {
 			m.pendingBranch = h
 			m.pendingEngine = eng
 		}
 		*budget--
-		m.dqHead++
-	}
-	if m.dqHead > 0 && m.dqHead == len(m.dq) {
-		m.dq = m.dq[:0]
-		m.dqHead = 0
+		m.dqPop()
 	}
 
 	// Engine cycles.
@@ -251,20 +298,25 @@ func (m *Machine) tick() {
 }
 
 // creditTraces credits committed atomic traces with their instruction
-// counts.
+// counts. The pending list is consumed FIFO through ptiHead and its storage
+// is reused once drained.
 func (m *Machine) creditTraces(traceEnds int) {
 	for i := 0; i < traceEnds; i++ {
-		if len(m.pendingTraceInsts) == 0 {
+		if m.ptiHead == len(m.pendingTraceInsts) {
 			panic("core: trace commit without pending credit")
 		}
-		m.insts += uint64(m.pendingTraceInsts[0])
-		m.pendingTraceInsts = m.pendingTraceInsts[1:]
+		m.insts += uint64(m.pendingTraceInsts[m.ptiHead])
+		m.ptiHead++
+	}
+	if m.ptiHead > 0 && m.ptiHead == len(m.pendingTraceInsts) {
+		m.pendingTraceInsts = m.pendingTraceInsts[:0]
+		m.ptiHead = 0
 	}
 }
 
 // enqueue pushes a uop toward dispatch.
 func (m *Machine) enqueue(it dispatchItem) {
-	m.dq = append(m.dq, it)
+	m.dqPush(it)
 }
 
 // InstSource supplies a committed dynamic instruction stream. The synthetic
@@ -294,15 +346,19 @@ func (m *Machine) RunSource(src InstSource, prof workload.Profile) *Result {
 		if !ok {
 			break
 		}
-		for _, seg := range m.sel.Feed(d) {
-			m.execSegment(&seg)
+		segs := m.sel.Feed(d)
+		for i := range segs {
+			m.execSegment(&segs[i])
+			m.sel.Recycle(&segs[i])
 		}
 	}
-	for _, seg := range m.sel.Flush() {
-		m.execSegment(&seg)
+	segs := m.sel.Flush()
+	for i := range segs {
+		m.execSegment(&segs[i])
+		m.sel.Recycle(&segs[i])
 	}
 	// Drain the pipeline.
-	for m.dqHead < len(m.dq) {
+	for m.dqLen() > 0 {
 		m.tick()
 	}
 	for m.cold.InFlight() > 0 || (m.model.Split && m.hot.InFlight() > 0) {
@@ -441,12 +497,27 @@ func (m *Machine) background(seg *trace.Segment, key uint64, hot bool, tr *trace
 	m.diagColdAbsent++
 	m.counts.Add(energy.EvHotFilter, 1)
 	if _, promoted := m.hotF.Bump(key); promoted {
-		t := trace.Build(seg)
-		m.tc.Insert(t)
+		t := trace.BuildInto(m.takeFreeTrace(), seg)
+		if ev := m.tc.Insert(t); ev != nil {
+			m.freeTraces = append(m.freeTraces, ev)
+		}
 		m.buildCount++
 		m.counts.Add(energy.EvTraceBuildUop, uint64(len(t.Uops)))
 		m.counts.Add(energy.EvTCWriteUop, uint64(len(t.Uops)))
 	}
+}
+
+// takeFreeTrace pops a recycled trace from the slab of evicted traces, or
+// returns nil when none is available (BuildInto then allocates).
+func (m *Machine) takeFreeTrace() *trace.Trace {
+	n := len(m.freeTraces)
+	if n == 0 {
+		return nil
+	}
+	t := m.freeTraces[n-1]
+	m.freeTraces[n-1] = nil
+	m.freeTraces = m.freeTraces[:n-1]
+	return t
 }
 
 // optimizeTrace runs the dynamic optimizer on a blazing trace and writes it

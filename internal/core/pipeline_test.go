@@ -103,7 +103,7 @@ func TestTOSUsesBothEngines(t *testing.T) {
 			m.execSegment(&seg)
 		}
 	}
-	for m.dqHead < len(m.dq) {
+	for m.dqLen() > 0 {
 		m.tick()
 	}
 	for m.cold.InFlight() > 0 || m.hot.InFlight() > 0 {

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"parrot/internal/config"
+	"parrot/internal/workload"
+)
+
+// poolTestInsts keeps the determinism gates fast while still exercising
+// warmup, trace building, optimization and hot replay on every model.
+const poolTestInsts = 20_000
+
+// freshRef memoizes RunWarmFresh reference results per (model, app) so the
+// property tests below do not pay for a fresh run per probe.
+type freshRef struct {
+	cache map[refKey]*Result
+}
+
+type refKey struct {
+	model config.ModelID
+	app   string
+}
+
+func (f *freshRef) get(model config.Model, prof workload.Profile) *Result {
+	if f.cache == nil {
+		f.cache = make(map[refKey]*Result)
+	}
+	k := refKey{model.ID, prof.Name}
+	if r, ok := f.cache[k]; ok {
+		return r
+	}
+	r := RunWarmFresh(model, prof, poolTestInsts)
+	f.cache[k] = r
+	return r
+}
+
+// TestPooledMatchesFreshAllModels is the determinism gate for the machine
+// pool: for every model, a run on a pooled (previously dirtied, then Reset)
+// machine must be bit-identical to a run on a freshly constructed machine.
+// Any state that survives Reset — a stale predictor counter, a resident
+// trace, a non-zeroed ring slot — shows up here as a field diff.
+func TestPooledMatchesFreshAllModels(t *testing.T) {
+	apps := workload.Apps()
+	dirty := apps[0]  // run used only to contaminate the pooled machine
+	probe := apps[19] // measured run compared against the fresh reference
+
+	for _, model := range config.All() {
+		model := model
+		t.Run(string(model.ID), func(t *testing.T) {
+			want := RunWarmFresh(model, probe, poolTestInsts)
+
+			pool := NewPool()
+			// First run constructs the machine and leaves it thoroughly
+			// dirty: warm caches, trained predictors, resident traces.
+			pool.RunWarm(model, dirty, poolTestInsts)
+			if pool.Size() != 1 {
+				t.Fatalf("pool retained %d machines, want 1", pool.Size())
+			}
+			got := pool.RunWarm(model, probe, poolTestInsts)
+
+			if st := pool.Stats(); st.Reuses != 1 {
+				t.Fatalf("second run did not reuse the pooled machine: %+v", st)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("pooled run diverged from fresh run:\n pooled: %+v\n fresh:  %+v", got, want)
+			}
+		})
+	}
+}
+
+// TestPoolInterleavingProperty is the testing/quick property: ANY random
+// interleaving of (model, application) runs on a single shared pool yields
+// results identical to fresh, never-pooled machines. This is stronger than
+// the pairwise gate above — cross-model reuse is impossible (the pool keys
+// by full config), but the property would catch key collisions, Reset
+// order-dependence, or leakage through package-level state.
+func TestPoolInterleavingProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test skipped in -short mode")
+	}
+	models := config.All()
+	apps := workload.Apps()[:6]
+	var refs freshRef
+	pool := NewPool()
+	pool.MaxPerModel = 2 // force frequent reuse
+
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(4)
+		for i := 0; i < n; i++ {
+			model := models[rng.Intn(len(models))]
+			prof := apps[rng.Intn(len(apps))]
+			got := pool.RunWarm(model, prof, poolTestInsts)
+			want := refs.get(model, prof)
+			if !reflect.DeepEqual(got, want) {
+				t.Logf("interleaved run diverged (seed %d, step %d, %s/%s)",
+					seed, i, model.ID, prof.Name)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 4}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPoolKeyedByFullModel guards the sensitivity-sweep hazard: two models
+// sharing an ID but differing in one hardware parameter must never exchange
+// machines through the pool.
+func TestPoolKeyedByFullModel(t *testing.T) {
+	base := config.Get(config.TOS)
+	tweaked := base
+	tweaked.TCFrames = base.TCFrames * 2
+
+	pool := NewPool()
+	pool.Put(pool.Get(base)) // pool now holds one machine for base
+	m := pool.Get(tweaked)
+	if st := pool.Stats(); st.Reuses != 0 {
+		t.Fatalf("pool handed a %v-configured machine to a different config: %+v", base.ID, st)
+	}
+	if m.model != tweaked {
+		t.Fatal("machine built for wrong configuration")
+	}
+}
+
+// TestDefaultPoolRunWarm exercises the package-level entry point the
+// experiment matrix uses, twice, so a pooled machine serves the second call.
+func TestDefaultPoolRunWarm(t *testing.T) {
+	model := config.Get(config.TON)
+	prof := workload.Apps()[3]
+	a := RunWarm(model, prof, poolTestInsts)
+	b := RunWarm(model, prof, poolTestInsts)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("repeated RunWarm through the default pool diverged")
+	}
+}

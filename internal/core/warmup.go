@@ -75,13 +75,36 @@ const WarmupFraction = 0.3
 
 // RunWarm executes an application with the standard warmup protocol:
 // the first WarmupFraction of the stream primes the machine, statistics
-// reset, and the remainder is measured.
+// reset, and the remainder is measured. Machines are drawn from (and
+// returned to) the package machine pool, and the synthesized program is
+// memoized per profile — repeated runs reuse fully-allocated structures.
+// Pooled runs are bit-identical to fresh ones (the Reset protocol), which
+// TestPooledMatchesFreshAllModels enforces.
 func RunWarm(model config.Model, prof workload.Profile, n int) *Result {
+	return DefaultPool.RunWarm(model, prof, n)
+}
+
+// RunWarm is RunWarm drawing its machine from this pool.
+func (p *Pool) RunWarm(model config.Model, prof workload.Profile, n int) *Result {
+	if n <= 0 {
+		n = prof.Instructions
+	}
+	m := p.Get(model)
+	defer p.Put(m)
+	prog := workload.GenerateCached(prof)
+	src := workload.GetStream(prog, n)
+	defer workload.PutStream(src)
+	return m.RunSourceWarm(src, prof, int(float64(n)*WarmupFraction))
+}
+
+// RunWarmFresh is RunWarm on a never-pooled, freshly constructed machine —
+// the reference the determinism tests compare pooled runs against.
+func RunWarmFresh(model config.Model, prof workload.Profile, n int) *Result {
 	if n <= 0 {
 		n = prof.Instructions
 	}
 	m := New(model)
-	prog := workload.Generate(prof)
+	prog := workload.GenerateCached(prof)
 	return m.RunSourceWarm(workload.NewStream(prog, n), prof, int(float64(n)*WarmupFraction))
 }
 
@@ -95,17 +118,21 @@ func (m *Machine) RunSourceWarm(src InstSource, prof workload.Profile, warm int)
 			break
 		}
 		fed++
-		for _, seg := range m.sel.Feed(d) {
-			m.execSegment(&seg)
+		segs := m.sel.Feed(d)
+		for i := range segs {
+			m.execSegment(&segs[i])
+			m.sel.Recycle(&segs[i])
 		}
 		if fed == warm {
 			m.ResetStats()
 		}
 	}
-	for _, seg := range m.sel.Flush() {
-		m.execSegment(&seg)
+	segs := m.sel.Flush()
+	for i := range segs {
+		m.execSegment(&segs[i])
+		m.sel.Recycle(&segs[i])
 	}
-	for m.dqHead < len(m.dq) {
+	for m.dqLen() > 0 {
 		m.tick()
 	}
 	for m.cold.InFlight() > 0 || (m.model.Split && m.hot.InFlight() > 0) {

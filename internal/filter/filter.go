@@ -102,6 +102,16 @@ func (c *CounterCache) Bump(key uint64) (count uint32, promoted bool) {
 	return 1, false
 }
 
+// Reset returns the filter to its just-constructed state: counters, LRU
+// clock and statistics cleared (machine-pooling Reset protocol).
+func (c *CounterCache) Reset() {
+	for i := range c.keys {
+		c.keys[i], c.count[i], c.valid[i], c.used[i] = 0, 0, false, 0
+	}
+	c.clock = 0
+	c.Stats = Stats{}
+}
+
 // Count returns the current counter for key without modifying state.
 func (c *CounterCache) Count(key uint64) uint32 {
 	set := (key ^ key>>17) & c.setMask

@@ -155,6 +155,20 @@ func (c *Cache) Flush() {
 	}
 }
 
+// Reset returns the cache to its just-constructed state: contents, LRU
+// clock and statistics are all cleared. Part of the machine-pooling Reset
+// protocol; a reset cache behaves bit-identically to a fresh one.
+func (c *Cache) Reset() {
+	for i := range c.valid {
+		c.valid[i] = false
+		c.pref[i] = false
+		c.tags[i] = 0
+		c.used[i] = 0
+	}
+	c.clock = 0
+	c.Stats = CacheStats{}
+}
+
 // HierarchyConfig describes a full memory hierarchy.
 type HierarchyConfig struct {
 	L1ISize, L1IWays int
@@ -204,6 +218,15 @@ func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
 
 // Config returns the hierarchy configuration.
 func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }
+
+// Reset clears all three caches and the prefetch counter, returning the
+// hierarchy to its just-constructed state without reallocating tag arrays.
+func (h *Hierarchy) Reset() {
+	h.L1I.Reset()
+	h.L1D.Reset()
+	h.L2.Reset()
+	h.Prefetches = 0
+}
 
 // L2SizeMB returns the level-2 capacity in megabytes, as used by the
 // paper's leakage formula (0.05 per MByte of L2).

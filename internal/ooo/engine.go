@@ -98,18 +98,31 @@ type robEntry struct {
 }
 
 // Engine is one out-of-order core instance.
+//
+// All internal queues are preallocated at construction: the ROB is a
+// power-of-two array indexed by sequence number, the issue queue and
+// completion list are fixed-capacity slices, and the in-flight store list is
+// a ring buffer popped in O(1) at commit (stores retire strictly in program
+// order). The steady-state cycle loop therefore performs no heap
+// allocation.
 type Engine struct {
 	cfg Config
 
-	rob     []robEntry
+	rob     []robEntry // power-of-two sized, >= cfg.ROBSize
+	robMask uint64
 	head    Handle // oldest un-committed
 	tail    Handle // next sequence number
 	iq      []Handle
 	rename  [isa.NumRegs]Handle // last writer; 0 = architectural file
 	pending []Handle            // issued, awaiting completion
 
-	// in-flight stores for memory disambiguation
-	stores []Handle
+	// In-flight stores for memory disambiguation: a ring buffer in program
+	// order. Stores commit in order, so the front of the ring is always the
+	// next store to retire.
+	stores    []Handle // power-of-two sized, >= cfg.ROBSize
+	storeMask int
+	storeHead int
+	storeCnt  int
 
 	// divBusy tracks per-unit completion times of the non-pipelined divide
 	// units (integer and FP); all other units are fully pipelined.
@@ -123,6 +136,15 @@ type Engine struct {
 	Stats Stats
 }
 
+// pow2 returns the smallest power of two >= n.
+func pow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
 // New builds an engine. memLatency supplies data-cache access latency
 // beyond the L1 hit time; nil means all accesses hit.
 func New(cfg Config, memLatency func(addr uint64, write bool) int) *Engine {
@@ -132,9 +154,16 @@ func New(cfg Config, memLatency func(addr uint64, write bool) int) *Engine {
 	if memLatency == nil {
 		memLatency = func(uint64, bool) int { return 0 }
 	}
+	robLen := pow2(cfg.ROBSize)
+	storeLen := pow2(cfg.ROBSize)
 	e := &Engine{
 		cfg:        cfg,
-		rob:        make([]robEntry, cfg.ROBSize),
+		rob:        make([]robEntry, robLen),
+		robMask:    uint64(robLen - 1),
+		stores:     make([]Handle, storeLen),
+		storeMask:  storeLen - 1,
+		iq:         make([]Handle, 0, cfg.IQSize),
+		pending:    make([]Handle, 0, cfg.ROBSize),
 		head:       1,
 		tail:       1,
 		memLatency: memLatency,
@@ -143,6 +172,27 @@ func New(cfg Config, memLatency func(addr uint64, write bool) int) *Engine {
 		e.divBusy[cls] = make([]uint64, cfg.Units[cls])
 	}
 	return e
+}
+
+// Reset returns the engine to its just-constructed state, keeping every
+// preallocated structure. A reset engine produces bit-identical results to a
+// freshly built one.
+func (e *Engine) Reset() {
+	for i := range e.rob {
+		e.rob[i] = robEntry{}
+	}
+	e.head, e.tail = 1, 1
+	e.iq = e.iq[:0]
+	e.pending = e.pending[:0]
+	e.rename = [isa.NumRegs]Handle{}
+	e.storeHead, e.storeCnt = 0, 0
+	for cls := range e.divBusy {
+		for i := range e.divBusy[cls] {
+			e.divBusy[cls][i] = 0
+		}
+	}
+	e.now = 0
+	e.Stats = Stats{}
 }
 
 // divUnitFree returns a free non-pipelined unit index for cls, or -1.
@@ -161,7 +211,10 @@ func (e *Engine) Config() Config { return e.cfg }
 // Now returns the engine's cycle counter.
 func (e *Engine) Now() uint64 { return e.now }
 
-func (e *Engine) slot(h Handle) *robEntry { return &e.rob[uint64(h)%uint64(len(e.rob))] }
+func (e *Engine) slot(h Handle) *robEntry { return &e.rob[uint64(h)&e.robMask] }
+
+// StoreQueueLen returns the number of in-flight stores awaiting commit.
+func (e *Engine) StoreQueueLen() int { return e.storeCnt }
 
 // InFlight returns the number of uops in the ROB.
 func (e *Engine) InFlight() int { return int(e.tail - e.head) }
@@ -205,7 +258,8 @@ func (e *Engine) Dispatch(u *isa.Uop, memAddr uint64, lastUop, traceEnd bool) Ha
 	case isa.OpStore:
 		en.isStore = true
 		en.memAddr = memAddr
-		e.stores = append(e.stores, h)
+		e.stores[(e.storeHead+e.storeCnt)&e.storeMask] = h
+		e.storeCnt++
 	}
 	e.iq = append(e.iq, h)
 	e.Stats.UopsDispatched++
@@ -235,13 +289,16 @@ func (e *Engine) ready(en *robEntry) bool {
 }
 
 // loadBlocked reports whether an older in-flight store to the same address
-// blocks the load (no forwarding modelled: the load waits).
+// blocks the load (no forwarding modelled: the load waits). The store ring
+// is in ascending program order, so the scan stops at the first store
+// younger than the load.
 func (e *Engine) loadBlocked(en *robEntry) bool {
-	for _, sh := range e.stores {
-		se := e.slot(sh)
-		if se.seq != sh || sh >= en.seq {
-			continue
+	for i := 0; i < e.storeCnt; i++ {
+		sh := e.stores[(e.storeHead+i)&e.storeMask]
+		if sh >= en.seq {
+			break
 		}
+		se := e.slot(sh)
 		if !se.done && se.memAddr == en.memAddr {
 			return true
 		}
@@ -278,13 +335,14 @@ func (e *Engine) Cycle() (committedUops, committedInsts int, traceEnds int) {
 			break
 		}
 		if en.isStore {
-			// Remove from the in-flight store list.
-			for i, sh := range e.stores {
-				if sh == e.head {
-					e.stores = append(e.stores[:i], e.stores[i+1:]...)
-					break
-				}
+			// Stores commit in program order, so the retiring store is
+			// always the front of the ring: O(1) removal (the old slice
+			// splice here was O(n) per retired store).
+			if e.storeCnt == 0 || e.stores[e.storeHead] != e.head {
+				panic("ooo: store retired out of program order")
 			}
+			e.storeHead = (e.storeHead + 1) & e.storeMask
+			e.storeCnt--
 		}
 		if en.lastUop {
 			committedInsts++

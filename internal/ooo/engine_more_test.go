@@ -100,8 +100,8 @@ func TestStoresLeaveInFlightListAtCommit(t *testing.T) {
 		e.Cycle()
 	}
 	e.Drain()
-	if len(e.stores) != 0 {
-		t.Errorf("%d stores leaked in the disambiguation list", len(e.stores))
+	if e.StoreQueueLen() != 0 {
+		t.Errorf("%d stores leaked in the disambiguation list", e.StoreQueueLen())
 	}
 }
 

@@ -27,18 +27,80 @@
 // trace instance (see trace.Trace.MemOps).
 package opt
 
-import "parrot/internal/isa"
+import (
+	"sync"
+
+	"parrot/internal/isa"
+)
 
 // depGraph is the static dependency graph the optimizer maintains across
 // passes (§3.1: "a simplified ROB-like structure ... maintains a static
-// dependency graph").
+// dependency graph"). Graphs are pooled: the optimizer runs once per
+// blazing trace in the simulator's steady state, and regrowing edge lists
+// and work arrays per invocation was the kernel's last remaining
+// allocation hot spot. Acquire with acquireGraph, hand back with release;
+// the edge lists and the scratch arrays below keep their capacity across
+// uses.
 type depGraph struct {
 	n     int
 	succs [][]int
 	preds [][]int
+
+	// Reusable work arrays for the graph consumers (CriticalPath depths,
+	// list-scheduling heights/in-degrees/order, permutation buffer). Each
+	// consumer initializes what it borrows; nothing here survives release.
+	depth []int
+	indeg []int
+	order []int
+	done  []bool
+	perm  []isa.Uop
 }
 
-// buildDataGraph builds the dependency edges of a uop sequence.
+var graphPool = sync.Pool{New: func() any { return new(depGraph) }}
+
+// acquireGraph returns a pooled graph with n empty per-node edge lists.
+// Callers must release() the graph when finished with it and everything
+// borrowed from it.
+func acquireGraph(n int) *depGraph {
+	g := graphPool.Get().(*depGraph)
+	if cap(g.succs) < n {
+		g.succs = make([][]int, n)
+		g.preds = make([][]int, n)
+	}
+	g.succs = g.succs[:n]
+	g.preds = g.preds[:n]
+	for i := 0; i < n; i++ {
+		g.succs[i] = g.succs[i][:0]
+		g.preds[i] = g.preds[i][:0]
+	}
+	g.n = n
+	return g
+}
+
+// release returns the graph (and its scratch arrays) to the pool.
+func (g *depGraph) release() { graphPool.Put(g) }
+
+// intScratch sizes one of the graph's integer work arrays to n nodes,
+// preserving capacity across uses. Contents are unspecified; the caller
+// initializes what it reads.
+func (g *depGraph) intScratch(buf *[]int) []int {
+	if cap(*buf) < g.n {
+		*buf = make([]int, g.n)
+	}
+	*buf = (*buf)[:g.n]
+	return *buf
+}
+
+func (g *depGraph) addEdge(from, to int) {
+	if from < 0 || from == to {
+		return
+	}
+	g.succs[from] = append(g.succs[from], to)
+	g.preds[to] = append(g.preds[to], from)
+}
+
+// buildDataGraph builds the dependency edges of a uop sequence into a
+// pooled graph (callers release it).
 //
 // With strictMem, every memory uop chains to its predecessor, preserving
 // total memory order — required for safe reordering because the k-th memory
@@ -49,30 +111,21 @@ type depGraph struct {
 // overstate the dependency path that Figure 4.9 measures. Loads still
 // contribute their latency to the chains rooted at their destinations.
 func buildDataGraph(uops []isa.Uop, strictMem bool) *depGraph {
-	g := &depGraph{n: len(uops)}
-	g.succs = make([][]int, len(uops))
-	g.preds = make([][]int, len(uops))
+	g := acquireGraph(len(uops))
 	var lastWriter [isa.NumRegs]int
 	for i := range lastWriter {
 		lastWriter[i] = -1
 	}
 	lastMem := -1
-	addEdge := func(from, to int) {
-		if from < 0 || from == to {
-			return
-		}
-		g.succs[from] = append(g.succs[from], to)
-		g.preds[to] = append(g.preds[to], from)
-	}
 	for i := range uops {
 		u := &uops[i]
 		for _, s := range u.Src {
 			if s != isa.RegNone {
-				addEdge(lastWriter[s], i)
+				g.addEdge(lastWriter[s], i)
 			}
 		}
 		if strictMem && u.Op.IsMem() {
-			addEdge(lastMem, i)
+			g.addEdge(lastMem, i)
 			lastMem = i
 		}
 		for _, d := range u.Dst {
@@ -84,21 +137,19 @@ func buildDataGraph(uops []isa.Uop, strictMem bool) *depGraph {
 	return g
 }
 
+// readerSets is the pooled reader-list table buildFullGraph uses for WAR
+// edges (one list per architectural register, capacity kept across uses).
+var readerPool = sync.Pool{New: func() any { return new([isa.NumRegs][]int) }}
+
 // buildFullGraph adds WAR and WAW edges, producing the constraint graph for
-// safe reordering.
+// safe reordering (pooled; callers release it).
 func buildFullGraph(uops []isa.Uop) *depGraph {
 	g := buildDataGraph(uops, true)
 	var lastWriter [isa.NumRegs]int
-	var readers [isa.NumRegs][]int
+	readers := readerPool.Get().(*[isa.NumRegs][]int)
 	for i := range lastWriter {
 		lastWriter[i] = -1
-	}
-	addEdge := func(from, to int) {
-		if from < 0 || from == to {
-			return
-		}
-		g.succs[from] = append(g.succs[from], to)
-		g.preds[to] = append(g.preds[to], from)
+		readers[i] = readers[i][:0]
 	}
 	for i := range uops {
 		u := &uops[i]
@@ -106,9 +157,9 @@ func buildFullGraph(uops []isa.Uop) *depGraph {
 			if d == isa.RegNone {
 				continue
 			}
-			addEdge(lastWriter[d], i) // WAW
+			g.addEdge(lastWriter[d], i) // WAW
 			for _, r := range readers[d] {
-				addEdge(r, i) // WAR
+				g.addEdge(r, i) // WAR
 			}
 		}
 		for _, s := range u.Src {
@@ -123,6 +174,7 @@ func buildFullGraph(uops []isa.Uop) *depGraph {
 			}
 		}
 	}
+	readerPool.Put(readers)
 	return g
 }
 
@@ -134,7 +186,7 @@ func CriticalPath(uops []isa.Uop) int {
 		return 0
 	}
 	g := buildDataGraph(uops, false)
-	depth := make([]int, len(uops))
+	depth := g.intScratch(&g.depth)
 	best := 0
 	for i := range uops {
 		d := 0
@@ -148,13 +200,15 @@ func CriticalPath(uops []isa.Uop) int {
 			best = depth[i]
 		}
 	}
+	g.release()
 	return best
 }
 
 // heights computes, for each node, the latency-weighted longest path from
-// the node to any sink (used as the list-scheduling priority).
+// the node to any sink (used as the list-scheduling priority). The result
+// borrows the graph's depth scratch and is valid until release.
 func (g *depGraph) heights(uops []isa.Uop) []int {
-	h := make([]int, g.n)
+	h := g.intScratch(&g.depth)
 	for i := g.n - 1; i >= 0; i-- {
 		best := 0
 		for _, s := range g.succs[i] {

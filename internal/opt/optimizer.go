@@ -72,6 +72,13 @@ func New(cfg Config) *Optimizer { return &Optimizer{cfg: cfg} }
 // Config returns the pass configuration.
 func (o *Optimizer) Config() Config { return o.cfg }
 
+// Reset clears the accumulated invocation statistics, returning the
+// optimizer to its just-constructed state (machine-pooling Reset protocol).
+func (o *Optimizer) Reset() {
+	o.Runs = 0
+	o.Totals = PassStats{}
+}
+
 // OptimizeUops rewrites a raw uop sequence and reports statistics. The
 // input slice is consumed (mutated and possibly aliased by the result).
 func (o *Optimizer) OptimizeUops(uops []isa.Uop) ([]isa.Uop, Result) {

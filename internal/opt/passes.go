@@ -556,15 +556,25 @@ func schedule(uops []isa.Uop, st *PassStats) []isa.Uop {
 		body = n - 1
 	}
 	g := buildFullGraph(uops)
+	defer g.release()
 	h := g.heights(uops)
-	indeg := make([]int, n)
+	indeg := g.intScratch(&g.indeg)
+	for i := 0; i < n; i++ {
+		indeg[i] = 0
+	}
 	for i := 0; i < n; i++ {
 		for _, s := range g.succs[i] {
 			indeg[s]++
 		}
 	}
-	order := make([]int, 0, n)
-	scheduled := make([]bool, n)
+	if cap(g.done) < n {
+		g.done = make([]bool, n)
+	}
+	scheduled := g.done[:n]
+	for i := range scheduled {
+		scheduled[i] = false
+	}
+	order := g.intScratch(&g.order)[:0]
 	for len(order) < body {
 		best := -1
 		for i := 0; i < body; i++ {
@@ -585,15 +595,18 @@ func schedule(uops []isa.Uop, st *PassStats) []isa.Uop {
 			indeg[s]--
 		}
 	}
-	out := make([]isa.Uop, 0, n)
+	// Permute in place through the graph's pooled uop buffer (the exit uop,
+	// when pinned, keeps slot n-1, which the order array never covers).
+	if cap(g.perm) < n {
+		g.perm = make([]isa.Uop, n)
+	}
+	scratch := g.perm[:n]
+	copy(scratch, uops)
 	for k, idx := range order {
 		if idx != k {
 			st.Scheduled++
 		}
-		out = append(out, uops[idx])
+		uops[k] = scratch[idx]
 	}
-	if exitPinned {
-		out = append(out, uops[n-1])
-	}
-	return out
+	return uops
 }

@@ -1,0 +1,78 @@
+// Package profiling wires the conventional -cpuprofile / -memprofile flags
+// into the command-line tools, so kernel regressions can be diagnosed with
+// `go tool pprof` against the shipped binaries:
+//
+//	parrotbench -n 200000 -cpuprofile cpu.out
+//	go tool pprof cpu.out
+//
+// The heap profile is written at Stop after a final GC, so it reflects
+// retained memory (machine pool, program cache), not transient garbage.
+package profiling
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds the profiling flag values; define with Define before
+// flag.Parse, then bracket main's work with Start and Stop.
+type Flags struct {
+	cpu *string
+	mem *string
+
+	cpuFile *os.File
+}
+
+// Define registers -cpuprofile and -memprofile on the default FlagSet.
+func Define() *Flags {
+	return &Flags{
+		cpu: flag.String("cpuprofile", "", "write a CPU profile to this file"),
+		mem: flag.String("memprofile", "", "write a heap profile to this file on exit"),
+	}
+}
+
+// Start begins CPU profiling when -cpuprofile was given. Call after
+// flag.Parse.
+func (f *Flags) Start() error {
+	if *f.cpu == "" {
+		return nil
+	}
+	out, err := os.Create(*f.cpu)
+	if err != nil {
+		return fmt.Errorf("cpuprofile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(out); err != nil {
+		out.Close()
+		return fmt.Errorf("cpuprofile: %w", err)
+	}
+	f.cpuFile = out
+	return nil
+}
+
+// Stop finishes the CPU profile and writes the heap profile, when
+// requested. Safe to call unconditionally (and via defer).
+func (f *Flags) Stop() error {
+	if f.cpuFile != nil {
+		pprof.StopCPUProfile()
+		err := f.cpuFile.Close()
+		f.cpuFile = nil
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	if *f.mem != "" {
+		out, err := os.Create(*f.mem)
+		if err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		defer out.Close()
+		runtime.GC() // materialize retained-set accuracy
+		if err := pprof.WriteHeapProfile(out); err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+	}
+	return nil
+}

@@ -99,8 +99,10 @@ func (c *Cache) Probe(key uint64) bool {
 
 // Insert stores a newly constructed trace, evicting the set's LRU frame if
 // needed. Inserting an already-resident key replaces the stored trace (the
-// optimizer's write-back path) and counts as a write-back.
-func (c *Cache) Insert(tr *trace.Trace) {
+// optimizer's write-back path) and counts as a write-back. The evicted
+// trace, if any, is returned so the caller can recycle its storage; a
+// write-back replacing tr itself returns nil.
+func (c *Cache) Insert(tr *trace.Trace) (evicted *trace.Trace) {
 	c.clock++
 	key := tr.TID.Key()
 	base := c.set(key)
@@ -108,10 +110,14 @@ func (c *Cache) Insert(tr *trace.Trace) {
 	for w := 0; w < c.ways; w++ {
 		i := base + w
 		if c.traces[i] != nil && c.keys[i] == key {
+			old := c.traces[i]
 			c.traces[i] = tr
 			c.used[i] = c.clock
 			c.Stats.Writebacks++
-			return
+			if old != tr {
+				return old
+			}
+			return nil
 		}
 		if c.traces[i] == nil {
 			victim = i
@@ -121,11 +127,30 @@ func (c *Cache) Insert(tr *trace.Trace) {
 	}
 	if c.traces[victim] != nil {
 		c.Stats.Evictions++
+		evicted = c.traces[victim]
 	}
 	c.keys[victim] = key
 	c.traces[victim] = tr
 	c.used[victim] = c.clock
 	c.Stats.Inserts++
+	return evicted
+}
+
+// Reset empties the cache and clears statistics, returning it to the
+// just-constructed state (machine-pooling Reset protocol). If recycle is
+// non-nil it is called once per resident trace so the caller can reclaim
+// trace storage into a slab.
+func (c *Cache) Reset(recycle func(*trace.Trace)) {
+	for i := range c.traces {
+		if c.traces[i] != nil && recycle != nil {
+			recycle(c.traces[i])
+		}
+		c.traces[i] = nil
+		c.keys[i] = 0
+		c.used[i] = 0
+	}
+	c.clock = 0
+	c.Stats = Stats{}
 }
 
 // Occupancy returns the number of resident frames.

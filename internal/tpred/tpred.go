@@ -124,3 +124,13 @@ func (p *Predictor) Train(actual uint64, predicted uint64, predOK bool) {
 
 // ResetHistory clears path history (used after machine flushes).
 func (p *Predictor) ResetHistory() { p.last = [2]uint64{} }
+
+// Reset returns the predictor to its just-constructed state: table, history
+// and statistics cleared (machine-pooling Reset protocol).
+func (p *Predictor) Reset() {
+	for i := range p.table {
+		p.table[i] = entry{}
+	}
+	p.last = [2]uint64{}
+	p.Stats = Stats{}
+}

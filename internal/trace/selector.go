@@ -38,10 +38,21 @@ func (s *Segment) NumInsts() int { return len(s.Insts) }
 //     incremented on calls and decremented on returns (procedure inlining);
 //   - two or more identical consecutive traces are joined into one, up to
 //     the capacity limit (loop unrolling).
+//
+// The selector is allocation-free in steady state: segment instruction
+// storage comes from an internal slab of recycled slices, the pending
+// segment is held by value, and Feed returns an internal output buffer that
+// is only valid until the next Feed or Flush call. Callers that retain
+// segments across calls must copy them; callers that consume them
+// immediately should hand the storage back with Recycle.
 type Selector struct {
-	cur     Segment
-	ctx     int // procedure context counter
-	pending *Segment
+	cur        Segment
+	ctx        int // procedure context counter
+	pending    Segment
+	hasPending bool
+
+	out  []Segment            // reused Feed/Flush output buffer
+	free [][]workload.DynInst // slab of recycled instruction slices
 
 	// Stats.
 	Built   uint64 // segments emitted
@@ -51,22 +62,72 @@ type Selector struct {
 // NewSelector returns an empty selection state machine.
 func NewSelector() *Selector { return &Selector{} }
 
-// Feed consumes one committed instruction and returns any completed
-// segments (usually none or one; flushing joined traces can return one
-// while another remains pending).
+// Reset returns the selector to its just-constructed state, keeping the
+// slab of recycled instruction storage (machine-pooling Reset protocol).
+func (s *Selector) Reset() {
+	s.recycleInsts(s.cur.Insts)
+	s.cur = Segment{}
+	s.ctx = 0
+	if s.hasPending {
+		s.recycleInsts(s.pending.Insts)
+	}
+	s.pending = Segment{}
+	s.hasPending = false
+	s.out = s.out[:0]
+	s.Built, s.JoinOps = 0, 0
+}
+
+// grabInsts returns an empty instruction slice, reusing slab storage when
+// available.
+func (s *Selector) grabInsts() []workload.DynInst {
+	if n := len(s.free); n > 0 {
+		sl := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return sl
+	}
+	// A fresh slice sized for a typical joined segment; it grows at most a
+	// few times before entering the recycling loop.
+	return make([]workload.DynInst, 0, 32)
+}
+
+// recycleInsts returns an instruction slice's backing storage to the slab.
+func (s *Selector) recycleInsts(sl []workload.DynInst) {
+	if cap(sl) == 0 {
+		return
+	}
+	s.free = append(s.free, sl[:0])
+}
+
+// Recycle hands a consumed segment's instruction storage back to the
+// selector for reuse. The caller must not touch seg.Insts afterwards.
+// Recycling is optional — callers that retain segments simply skip it.
+func (s *Selector) Recycle(seg *Segment) {
+	s.recycleInsts(seg.Insts)
+	seg.Insts = nil
+}
+
+// Feed consumes one committed instruction and appends any completed
+// segments (usually none or one; flushing joined traces can emit one while
+// another remains pending) to an internal buffer that is returned. The
+// returned slice and the segments' instruction storage are valid until the
+// next Feed or Flush call unless recycled earlier.
 func (s *Selector) Feed(d workload.DynInst) []Segment {
-	var out []Segment
+	s.out = s.out[:0]
 
 	nu := len(d.Inst.Uops)
 	// Capacity: never exceed the frame. If appending would overflow, close
 	// the current trace first (mid-block split for extremely large blocks).
 	if s.cur.Uops > 0 && s.cur.Uops+nu > MaxUops {
-		out = append(out, s.close()...)
+		s.close()
 	}
 
 	if len(s.cur.Insts) == 0 {
 		s.cur.TID = TID{Start: d.Inst.PC}
 		s.ctx = 0
+		if s.cur.Insts == nil {
+			s.cur.Insts = s.grabInsts()
+		}
 	}
 	s.cur.Insts = append(s.cur.Insts, d)
 	s.cur.Uops += nu
@@ -100,24 +161,24 @@ func (s *Selector) Feed(d workload.DynInst) []Segment {
 		terminate = true
 	}
 	if terminate {
-		out = append(out, s.close()...)
+		s.close()
 	}
-	return out
+	return s.out
 }
 
 // close completes the current segment, applying the joining rule, and
-// returns any segment that is now final.
-func (s *Selector) close() []Segment {
+// appends any segment that is now final to the output buffer.
+func (s *Selector) close() {
 	if len(s.cur.Insts) == 0 {
-		return nil
+		return
 	}
 	done := s.cur
 	done.Joined = 1
-	s.cur = Segment{}
+	s.cur = Segment{Insts: s.grabInsts()}
 	s.ctx = 0
 
-	if s.pending != nil {
-		p := s.pending
+	if s.hasPending {
+		p := &s.pending
 		if sameUnit(p, &done) && p.Uops+done.Uops <= MaxUops {
 			// Join: identical consecutive traces merge (loop unrolling).
 			p.TID = p.TID.Concat(done.TID)
@@ -125,16 +186,17 @@ func (s *Selector) close() []Segment {
 			p.Uops += done.Uops
 			p.Joined++
 			s.JoinOps++
-			return nil
+			s.recycleInsts(done.Insts)
+			return
 		}
 		// Flush the pending trace; the new one becomes pending.
-		outp := *p
-		s.pending = &done
+		s.out = append(s.out, *p)
+		s.pending = done
 		s.Built++
-		return []Segment{outp}
+		return
 	}
-	s.pending = &done
-	return nil
+	s.pending = done
+	s.hasPending = true
 }
 
 // NDirsPerUnit returns the direction bits contributed by one joined unit.
@@ -169,13 +231,15 @@ func sameUnit(p *Segment, done *Segment) bool {
 }
 
 // Flush force-completes any in-progress and pending segments (stream end).
+// The returned slice follows the same reuse contract as Feed.
 func (s *Selector) Flush() []Segment {
-	var out []Segment
-	out = append(out, s.close()...)
-	if s.pending != nil {
-		out = append(out, *s.pending)
-		s.pending = nil
+	s.out = s.out[:0]
+	s.close()
+	if s.hasPending {
+		s.out = append(s.out, s.pending)
+		s.pending = Segment{}
+		s.hasPending = false
 		s.Built++
 	}
-	return out
+	return s.out
 }

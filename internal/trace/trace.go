@@ -42,10 +42,22 @@ type Trace struct {
 // the decoded instructions in program order with the dynamic branch
 // directions embedded (the reuse container for decode work, §2.1).
 func Build(seg *Segment) *Trace {
-	t := &Trace{
+	return BuildInto(nil, seg)
+}
+
+// BuildInto is Build with slab-backed storage: it constructs the trace into
+// t, reusing t's uop storage (typically a trace previously evicted from the
+// trace cache). Every field is overwritten, so a recycled trace is
+// bit-identical to a freshly built one. t may be nil, in which case a new
+// trace is allocated.
+func BuildInto(t *Trace, seg *Segment) *Trace {
+	if t == nil {
+		t = &Trace{Uops: make([]isa.Uop, 0, seg.Uops)}
+	}
+	*t = Trace{
 		TID:      seg.TID,
 		NumInsts: len(seg.Insts),
-		Uops:     make([]isa.Uop, 0, seg.Uops),
+		Uops:     t.Uops[:0],
 	}
 	dir := 0
 	for _, d := range seg.Insts {

@@ -1,0 +1,22 @@
+package workload
+
+import "sync"
+
+// progCache memoizes Generate by profile. Generation is deterministic in
+// the profile (the walker owns all run-time randomness via its own seeded
+// rng), and a Program is immutable once built, so one synthesized program
+// can safely back any number of concurrent streams. The experiment matrix
+// previously regenerated every application once per model — 7× the work.
+var progCache sync.Map // Profile -> *Program
+
+// GenerateCached returns the memoized program for the profile, synthesizing
+// it on first use. The returned Program must be treated as read-only (all
+// in-tree consumers already do: streams keep their own cursor state).
+func GenerateCached(prof Profile) *Program {
+	if p, ok := progCache.Load(prof); ok {
+		return p.(*Program)
+	}
+	p := Generate(prof)
+	actual, _ := progCache.LoadOrStore(prof, p)
+	return actual.(*Program)
+}

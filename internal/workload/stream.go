@@ -2,6 +2,7 @@ package workload
 
 import (
 	"math/rand"
+	"sync"
 
 	"parrot/internal/isa"
 )
@@ -63,12 +64,39 @@ type Stream struct {
 
 // NewStream builds a walker over prog emitting n dynamic instructions.
 func NewStream(prog *Program, n int) *Stream {
-	s := &Stream{
-		prog:      prog,
-		rng:       rand.New(rand.NewSource(prog.Prof.Seed + 1)),
-		remaining: n,
-		patState:  make(map[int]bool),
+	s := &Stream{}
+	s.Init(prog, n)
+	return s
+}
+
+// Init (re)initializes the walker over prog for n dynamic instructions,
+// reusing the stream's buffers. An Init-ed stream is indistinguishable from
+// a fresh NewStream one: the rng is reseeded, and all episode, queue and
+// address-stream state is rebuilt from the program — the property the
+// pooled-vs-fresh determinism tests in core cover. GetStream/PutStream
+// recycle streams through a pool so the steady-state experiment loop
+// allocates no walker state at all.
+func (s *Stream) Init(prog *Program, n int) {
+	s.prog = prog
+	if s.rng == nil {
+		s.rng = rand.New(rand.NewSource(prog.Prof.Seed + 1))
+	} else {
+		// Same generator state as rand.New(rand.NewSource(seed)).
+		s.rng.Seed(prog.Prof.Seed + 1)
 	}
+	s.remaining = n
+	s.queue = s.queue[:0]
+	s.qpos = 0
+	s.hotEmitted, s.coldEmitted = 0, 0
+	s.loopCDF = s.loopCDF[:0]
+	s.coldNext = 0
+	if s.patState == nil {
+		s.patState = make(map[int]bool)
+	} else {
+		clear(s.patState)
+	}
+	s.Emitted = 0
+
 	// Zipf CDF over loops.
 	total := 0.0
 	for _, l := range prog.Loops {
@@ -85,11 +113,11 @@ func NewStream(prog *Program, n int) *Stream {
 		ws = 4096
 	}
 	ns := prog.NumStreams()
-	s.strided = make([]bool, ns)
-	s.sbase = make([]uint64, ns)
-	s.spos = make([]uint64, ns)
-	s.sstride = make([]uint64, ns)
-	s.sregion = make([]uint64, ns)
+	s.strided = resizeBools(s.strided, ns)
+	s.sbase = resizeU64s(s.sbase, ns)
+	s.spos = resizeU64s(s.spos, ns)
+	s.sstride = resizeU64s(s.sstride, ns)
+	s.sregion = resizeU64s(s.sregion, ns)
 	for i := 0; i < ns; i++ {
 		switch {
 		case s.rng.Float64() < 0.45:
@@ -118,8 +146,45 @@ func NewStream(prog *Program, n int) *Stream {
 		s.sbase[i] = 0x1000_0000 + uint64(s.rng.Intn(1<<20))*8
 		s.spos[i] = uint64(s.rng.Intn(1 << 16))
 	}
+}
+
+// resizeBools returns a zeroed bool slice of length n, reusing capacity.
+func resizeBools(b []bool, n int) []bool {
+	if cap(b) < n {
+		return make([]bool, n)
+	}
+	b = b[:n]
+	for i := range b {
+		b[i] = false
+	}
+	return b
+}
+
+// resizeU64s returns a zeroed uint64 slice of length n, reusing capacity.
+func resizeU64s(u []uint64, n int) []uint64 {
+	if cap(u) < n {
+		return make([]uint64, n)
+	}
+	u = u[:n]
+	clear(u)
+	return u
+}
+
+// streamPool recycles walker state (episode queue, address-stream arrays,
+// rng) across simulations.
+var streamPool = sync.Pool{New: func() any { return new(Stream) }}
+
+// GetStream returns a pooled stream initialized over prog for n dynamic
+// instructions. Return it with PutStream when the run completes.
+func GetStream(prog *Program, n int) *Stream {
+	s := streamPool.Get().(*Stream)
+	s.Init(prog, n)
 	return s
 }
+
+// PutStream hands a stream back to the pool. The caller must not use it
+// afterwards.
+func PutStream(s *Stream) { streamPool.Put(s) }
 
 // HotFractionObserved reports the fraction of emitted instructions that came
 // from hot-loop episodes.
