@@ -266,7 +266,7 @@ func BenchmarkSelector(b *testing.B) {
 			if !ok {
 				break
 			}
-			segs += len(sel.Feed(d))
+			segs += len(sel.Feed(&d))
 		}
 		if segs == 0 {
 			b.Fatal("no segments")

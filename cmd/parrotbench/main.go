@@ -16,6 +16,7 @@
 //	parrotbench -splitstudy      # split-core future-work study (§5)
 //	parrotbench -quick           # restrict studies to 1 app per suite
 //	parrotbench -simbench        # simulation-kernel throughput report (JSON)
+//	parrotbench -enginebench     # engine per-cycle micro-benchmark report (JSON)
 //	parrotbench -cpuprofile f    # write a CPU profile (any mode)
 //	parrotbench -memprofile f    # write a heap profile on exit (any mode)
 package main
@@ -53,6 +54,7 @@ func run() error {
 	quick := flag.Bool("quick", false, "restrict studies to one application per suite")
 	jsonOut := flag.Bool("json", false, "emit the full result matrix as JSON instead of figures")
 	simbench := flag.Bool("simbench", false, "measure simulation-kernel throughput and emit a JSON report")
+	enginebench := flag.Bool("enginebench", false, "measure engine micro-workloads and emit a JSON report")
 	prof := profiling.Define()
 	flag.Parse()
 
@@ -67,6 +69,10 @@ func run() error {
 
 	if *simbench {
 		return runSimBench(*n, os.Stdout)
+	}
+
+	if *enginebench {
+		return runEngineBench(os.Stdout)
 	}
 
 	if *table != "" {

@@ -43,6 +43,11 @@ type simBenchReport struct {
 	// slab-backed traces), kept in the report as the regression reference.
 	SeedBaseline seedBaseline `json:"seed_baseline"`
 
+	// PR1Baseline is the steady matrix pass at the PR 1 tree (pooled
+	// machines and slab pipeline, but the polling execution kernel) — the
+	// reference for the event-driven kernel's >=1.4x throughput gate.
+	PR1Baseline seedBaseline `json:"pr1_baseline"`
+
 	Notes string `json:"notes,omitempty"`
 }
 
@@ -66,6 +71,18 @@ var preKernelBaseline = seedBaseline{
 	SimMIPS:     1.17,
 	Allocs:      15_090_000,
 	AllocBytes:  3_340_000_000,
+}
+
+// pollingKernelBaseline is the steady matrix pass measured at the PR 1 tree
+// (polling execution kernel: linear pending-list writeback, per-cycle IQ
+// source re-poll, per-load store-ring walk) on the same machine.
+var pollingKernelBaseline = seedBaseline{
+	Description: "PR 1 tree steady matrix pass: pooled machines + slab pipeline, polling execution kernel",
+	InstsPerApp: 50_000,
+	WallSeconds: 4.054,
+	SimMIPS:     2.673,
+	Allocs:      3_547,
+	AllocBytes:  1_554_432,
 }
 
 type matrixPass struct {
@@ -118,6 +135,7 @@ func runSimBench(n int, out io.Writer) error {
 		InstsPerApp:  n,
 		Models:       len(config.All()),
 		SeedBaseline: preKernelBaseline,
+		PR1Baseline:  pollingKernelBaseline,
 		Notes: "matrix_passes[0] pays compulsory costs (program synthesis, machine construction); " +
 			"later passes reuse pooled machines and cached programs. steady_state is per complete " +
 			"warmup+measure simulation, allocations included.",

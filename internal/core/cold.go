@@ -56,9 +56,7 @@ func (m *Machine) useDecodeSlot(in *isa.Inst) {
 func (m *Machine) coldFetchInst(d *workload.DynInst) {
 	in := d.Inst
 
-	for m.frontBlocked() {
-		m.tick()
-	}
+	m.frontStall()
 
 	// Instruction cache: access on every line transition.
 	line := in.PC & cacheLineMask
@@ -72,9 +70,7 @@ func (m *Machine) coldFetchInst(d *workload.DynInst) {
 		}
 		if extra > 0 {
 			m.fetchStallUntil = m.clock + uint64(extra)
-			for m.frontBlocked() {
-				m.tick()
-			}
+			m.frontStall()
 		}
 	}
 
@@ -124,7 +120,7 @@ func (m *Machine) coldFetchInst(d *workload.DynInst) {
 		// discontinuity redirects the front-end unconditionally.
 		mispredicted = false
 		m.counts.Add(energy.EvFlushRecovery, 1)
-		m.fetchStallUntil = maxU64(m.fetchStallUntil, m.clock+uint64(m.model.FrontDepth))
+		m.fetchStallUntil = maxU64(m.fetchStallUntil, m.clock+m.frontDepth)
 		m.lastLine = ^uint64(0)
 	}
 	if mispredicted {
@@ -139,12 +135,11 @@ func (m *Machine) coldFetchInst(d *workload.DynInst) {
 		m.decUsed = m.model.DecodeWidth
 	}
 
-	// Enqueue the decoded uops.
+	// Enqueue the decoded uops, filling the ring slots in place.
 	for k := range in.Uops {
-		it := dispatchItem{
-			uop:     in.Uops[k],
-			lastUop: k == len(in.Uops)-1,
-		}
+		it := m.dqAlloc()
+		it.uop = in.Uops[k]
+		it.lastUop = k == len(in.Uops)-1
 		if in.Uops[k].Op.IsMem() {
 			it.memAddr = d.MemAddr
 		}
@@ -152,7 +147,6 @@ func (m *Machine) coldFetchInst(d *workload.DynInst) {
 			// Fetch stalls until the mispredicted CTI resolves.
 			it.resolve = true
 		}
-		m.enqueue(it)
 	}
 }
 

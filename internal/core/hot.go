@@ -12,7 +12,7 @@ func (m *Machine) hotSupplyFree() bool {
 	if m.supCycle != m.clock {
 		return true
 	}
-	return m.supUsed < m.model.TraceFetchUops
+	return m.supUsed < m.traceFetchUops
 }
 
 // useHotSupply consumes trace-fetch bandwidth for one uop.
@@ -69,14 +69,13 @@ func (m *Machine) execHot(seg *trace.Segment, tr *trace.Trace) {
 
 	k := 0
 	for i := range tr.Uops {
-		for !m.hotSupplyFree() || m.dqLen() > 4*m.model.TraceFetchUops {
+		for !m.hotSupplyFree() || m.dqLen() > m.hotDQLimit {
 			m.tick()
 		}
 		m.useHotSupply()
-		it := dispatchItem{
-			uop: tr.Uops[i],
-			hot: true,
-		}
+		it := m.dqAlloc()
+		it.uop = tr.Uops[i]
+		it.hot = true
 		if tr.Uops[i].Op.IsMem() {
 			it.memAddr = addrs[k]
 			k++
@@ -84,14 +83,13 @@ func (m *Machine) execHot(seg *trace.Segment, tr *trace.Trace) {
 		if i == len(tr.Uops)-1 {
 			it.traceEnd = true
 		}
-		m.enqueue(it)
 	}
 	m.pendingTraceInsts = append(m.pendingTraceInsts, seg.NumInsts())
 
 	if d := &seg.Insts[len(seg.Insts)-1]; d.EpisodeEnd {
 		// The successor is unrelated code; the hot pipeline redirects just
 		// like the cold one, and the next cold fetch re-primes its line.
-		m.fetchStallUntil = maxU64(m.fetchStallUntil, m.clock+uint64(m.model.FrontDepth)/2)
+		m.fetchStallUntil = maxU64(m.fetchStallUntil, m.clock+m.frontDepth/2)
 		m.lastLine = ^uint64(0)
 	}
 }

@@ -48,6 +48,19 @@ type dispatchItem struct {
 type Machine struct {
 	model config.Model
 
+	// Hoisted model parameters: the per-cycle and per-segment paths read
+	// these fields instead of re-extracting them from the (large) model
+	// struct on every call.
+	split          bool
+	traceCache     bool
+	coldWidth      int
+	hotWidth       int
+	dqLimit        int // cold decode back-pressure threshold
+	hotDQLimit     int // hot-supply back-pressure threshold
+	traceFetchUops int
+	frontDepth     uint64
+	switchPenalty  uint64
+
 	hier *mem.Hierarchy
 	bp   *branch.Predictor
 	btb  *branch.BTB
@@ -148,16 +161,30 @@ func New(model config.Model) *Machine {
 		sel:    trace.NewSelector(),
 		emodel: energy.NewModel(model.EnergyParams()),
 		dq:     make([]dispatchItem, 128), // power of two; grows on demand
+
+		split:          model.Split,
+		traceCache:     model.TraceCache,
+		coldWidth:      model.Core.Width,
+		hotWidth:       model.Core.Width,
+		dqLimit:        4 * model.Core.Width,
+		hotDQLimit:     4 * model.TraceFetchUops,
+		traceFetchUops: model.TraceFetchUops,
+		frontDepth:     uint64(model.FrontDepth),
+		switchPenalty:  uint64(model.SwitchPenalty),
 	}
 	if model.BPHistBits == 0 {
 		m.bp = branch.NewPredictor(model.BPEntries, 12)
 	}
-	m.cold = ooo.New(model.Core, m.dataAccess)
+	// The memory hierarchy is the engines' concrete latency provider: no
+	// per-machine closure on the load/store issue path, and the engines can
+	// size their completion wheels from its worst-case latency.
+	m.cold = ooo.NewWithMem(model.Core, m.hier)
 	m.hot = m.cold
 	m.ehot = m.emodel
 	if model.Split {
-		m.hot = ooo.New(model.HotCore, m.dataAccess)
+		m.hot = ooo.NewWithMem(model.HotCore, m.hier)
 		m.ehot = energy.NewModel(model.HotEnergyParams())
+		m.hotWidth = model.HotCore.Width
 	}
 	if model.TraceCache {
 		m.tc = tcache.New(model.TCFrames, model.TCWays)
@@ -174,22 +201,26 @@ func New(model config.Model) *Machine {
 // Model returns the machine's configuration.
 func (m *Machine) Model() config.Model { return m.model }
 
-// dataAccess is the engine's data-memory latency callback.
-func (m *Machine) dataAccess(addr uint64, write bool) int {
-	return m.hier.AccessData(addr, write)
-}
-
 // dqLen returns the number of queued dispatch items.
 func (m *Machine) dqLen() int { return int(m.dqTail - m.dqHead) }
 
 // dqPush enqueues one item, doubling the ring when full (rare: the queue is
 // bounded by front-end back-pressure plus one instruction's uops).
 func (m *Machine) dqPush(it dispatchItem) {
+	*m.dqAlloc() = it
+}
+
+// dqAlloc reserves the next ring slot and returns it zeroed, so the decoders
+// fill dispatch items in place instead of building them locally and copying
+// them into the ring.
+func (m *Machine) dqAlloc() *dispatchItem {
 	if m.dqLen() == len(m.dq) {
 		m.dqGrow()
 	}
-	m.dq[m.dqTail&uint64(len(m.dq)-1)] = it
+	it := &m.dq[m.dqTail&uint64(len(m.dq)-1)]
 	m.dqTail++
+	*it = dispatchItem{}
+	return it
 }
 
 // dqGrow doubles the ring, re-laying the live window out from index 0.
@@ -222,14 +253,94 @@ func (m *Machine) frontBlocked() bool {
 		if m.pendingEngine.Done(m.pendingBranch) {
 			// Resolved: redirect costs a front-pipeline refill.
 			m.pendingBranch = 0
-			m.fetchStallUntil = m.clock + uint64(m.model.FrontDepth)
+			m.fetchStallUntil = m.clock + m.frontDepth
 		}
 		return true
 	}
-	if m.dqLen() > 4*m.model.Core.Width {
+	if m.dqLen() > m.dqLimit {
 		return true // decode back-pressure
 	}
 	return false
+}
+
+// frontStall advances the machine until the front-end unblocks. Provably
+// idle windows — empty dispatch queue and no engine able to complete, issue
+// or commit before some cycle T — are fast-forwarded in one jump instead of
+// being simulated cycle by cycle. Skipped cycles are bit-identical to the
+// no-op ticks they replace: every counter (engine Stats.Cycles, the machine
+// clock, the diagnostic stall attribution) advances exactly as if each cycle
+// had been executed.
+func (m *Machine) frontStall() {
+	for m.frontBlocked() {
+		if k := m.idleCycles(); k > 0 {
+			m.skipCycles(k)
+			continue
+		}
+		m.tick()
+	}
+}
+
+// idleCycles returns how many upcoming ticks are provably no-ops, or 0 when
+// the next tick may do real work. A tick is a no-op iff the dispatch queue
+// is empty and every engine's next event (completion, commit, issue) lies
+// beyond it; the count is additionally capped at the front-end stall timer
+// so frontBlocked is re-evaluated on exactly the cycle it could flip.
+func (m *Machine) idleCycles() uint64 {
+	if m.dqLen() > 0 {
+		return 0
+	}
+	const never = ^uint64(0)
+	t := m.cold.NextEventAt()
+	if m.split {
+		if th := m.hot.NextEventAt(); th < t {
+			t = th
+		}
+	}
+	var k uint64
+	switch {
+	case t == never:
+		k = never
+	case t > m.clock+1:
+		k = t - m.clock - 1 // the tick reaching t must run for real
+	default:
+		return 0
+	}
+	// frontBlocked changes machine state only at the stall-timer expiry:
+	// that is when the timer check stops masking the pending-branch Done
+	// test (and when a pure timer stall ends). Never skip across it, so the
+	// front-end re-evaluates on exactly that cycle.
+	if m.fetchStallUntil > m.clock {
+		if lim := m.fetchStallUntil - m.clock; lim < k {
+			k = lim
+		}
+	}
+	if k == never {
+		// Engines empty and no stall timer running: the next tick may do
+		// real work; be conservative.
+		return 0
+	}
+	return k
+}
+
+// skipCycles advances clocks and per-cycle diagnostics by k cycles in one
+// step. Valid only for windows idleCycles proved to be no-ops.
+func (m *Machine) skipCycles(k uint64) {
+	var fs uint64
+	if m.fetchStallUntil > m.clock+1 {
+		fs = m.fetchStallUntil - m.clock - 1
+		if fs > k {
+			fs = k
+		}
+	}
+	m.diagFetchStall += fs
+	if m.pendingBranch != 0 {
+		m.diagResolve += k - fs
+	}
+	m.clock += k
+	m.cold.Skip(k)
+	if m.split {
+		m.hot.Skip(k)
+	}
 }
 
 // tick advances the machine one cycle: dispatch, then engine clocks.
@@ -242,23 +353,20 @@ func (m *Machine) tick() {
 	}
 
 	// Dispatch from the queue into the engines.
-	coldBudget := m.model.Core.Width
-	hotBudget := coldBudget
-	if m.model.Split {
-		hotBudget = m.model.HotCore.Width
-	}
+	coldBudget := m.coldWidth
+	hotBudget := m.hotWidth
 	for m.dqLen() > 0 {
 		it := m.dqFront()
 		eng := m.cold
 		budget := &coldBudget
-		if m.model.Split && it.hot {
+		if m.split && it.hot {
 			eng = m.hot
 			budget = &hotBudget
 		}
-		if m.model.Split && it.hot != m.lastDispatchHot {
+		if m.split && it.hot != m.lastDispatchHot {
 			// Register state switch between the split cores.
 			if m.switchStallUntil == 0 {
-				m.switchStallUntil = m.clock + uint64(m.model.SwitchPenalty)
+				m.switchStallUntil = m.clock + m.switchPenalty
 				m.countsHot.Add(energy.EvStateSwitch, 1)
 			}
 			if m.clock < m.switchStallUntil {
@@ -290,7 +398,7 @@ func (m *Machine) tick() {
 	_, ci, te := m.cold.Cycle()
 	m.insts += uint64(ci)
 	m.creditTraces(te)
-	if m.model.Split {
+	if m.split {
 		_, ci, te = m.hot.Cycle()
 		m.insts += uint64(ci)
 		m.creditTraces(te)
@@ -314,7 +422,8 @@ func (m *Machine) creditTraces(traceEnds int) {
 	}
 }
 
-// enqueue pushes a uop toward dispatch.
+// enqueue pushes a prebuilt item toward dispatch (testing helper; the
+// decoders fill ring slots in place via dqAlloc).
 func (m *Machine) enqueue(it dispatchItem) {
 	m.dqPush(it)
 }
@@ -346,7 +455,7 @@ func (m *Machine) RunSource(src InstSource, prof workload.Profile) *Result {
 		if !ok {
 			break
 		}
-		segs := m.sel.Feed(d)
+		segs := m.sel.Feed(&d)
 		for i := range segs {
 			m.execSegment(&segs[i])
 			m.sel.Recycle(&segs[i])
@@ -357,20 +466,29 @@ func (m *Machine) RunSource(src InstSource, prof workload.Profile) *Result {
 		m.execSegment(&segs[i])
 		m.sel.Recycle(&segs[i])
 	}
-	// Drain the pipeline.
+	m.drain()
+	return m.collect(prof)
+}
+
+// drain empties the dispatch queue and both pipelines, fast-forwarding idle
+// stretches (e.g. a last long-latency load) in one jump.
+func (m *Machine) drain() {
 	for m.dqLen() > 0 {
 		m.tick()
 	}
-	for m.cold.InFlight() > 0 || (m.model.Split && m.hot.InFlight() > 0) {
+	for m.cold.InFlight() > 0 || (m.split && m.hot.InFlight() > 0) {
+		if k := m.idleCycles(); k > 0 {
+			m.skipCycles(k)
+			continue
+		}
 		m.tick()
 	}
-	return m.collect(prof)
 }
 
 // execSegment runs one selection segment through the fetch selector and the
 // appropriate pipeline, then performs the background phases.
 func (m *Machine) execSegment(seg *trace.Segment) {
-	if !m.model.TraceCache {
+	if !m.traceCache {
 		m.execCold(seg)
 		return
 	}
@@ -462,7 +580,7 @@ func (m *Machine) traceAbort(tr *trace.Trace) {
 	m.countsHot.Add(energy.EvTCReadUop, wasted)
 	m.countsHot.Add(energy.EvALU, wasted/2) // partial wrong-path execution
 	m.counts.Add(energy.EvFlushRecovery, 1)
-	m.fetchStallUntil = maxU64(m.fetchStallUntil, m.clock+uint64(m.model.FrontDepth)+wasted/4)
+	m.fetchStallUntil = maxU64(m.fetchStallUntil, m.clock+m.frontDepth+wasted/4)
 }
 
 // background performs the post-processing phases on the committed segment.

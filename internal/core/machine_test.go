@@ -200,7 +200,7 @@ func TestTraceMatchGuardsCollisions(t *testing.T) {
 		if !ok {
 			break
 		}
-		segs = append(segs, sel.Feed(d)...)
+		segs = append(segs, sel.Feed(&d)...)
 	}
 	if len(segs) < 2 {
 		t.Fatal("not enough segments")
@@ -231,7 +231,7 @@ func TestWarmupResetClearsCounters(t *testing.T) {
 		if !ok {
 			break
 		}
-		for _, seg := range m.sel.Feed(d) {
+		for _, seg := range m.sel.Feed(&d) {
 			m.execSegment(&seg)
 		}
 	}

@@ -99,7 +99,7 @@ func TestTOSUsesBothEngines(t *testing.T) {
 		if !ok {
 			break
 		}
-		for _, seg := range m.sel.Feed(d) {
+		for _, seg := range m.sel.Feed(&d) {
 			m.execSegment(&seg)
 		}
 	}

@@ -86,11 +86,20 @@ func RunWarm(model config.Model, prof workload.Profile, n int) *Result {
 
 // RunWarm is RunWarm drawing its machine from this pool.
 func (p *Pool) RunWarm(model config.Model, prof workload.Profile, n int) *Result {
+	m := p.Get(model)
+	defer p.Put(m)
+	return RunWarmOn(m, prof, n)
+}
+
+// RunWarmOn is the warmup protocol on a caller-managed machine: m must be
+// freshly constructed or Reset, and ownership stays with the caller (nothing
+// is pooled or reset here). It is the building block for callers that hold a
+// machine across many runs — the experiment matrix workers reset and reuse
+// one machine per model instead of cycling the pool lock per cell.
+func RunWarmOn(m *Machine, prof workload.Profile, n int) *Result {
 	if n <= 0 {
 		n = prof.Instructions
 	}
-	m := p.Get(model)
-	defer p.Put(m)
 	prog := workload.GenerateCached(prof)
 	src := workload.GetStream(prog, n)
 	defer workload.PutStream(src)
@@ -118,7 +127,7 @@ func (m *Machine) RunSourceWarm(src InstSource, prof workload.Profile, warm int)
 			break
 		}
 		fed++
-		segs := m.sel.Feed(d)
+		segs := m.sel.Feed(&d)
 		for i := range segs {
 			m.execSegment(&segs[i])
 			m.sel.Recycle(&segs[i])
@@ -132,11 +141,6 @@ func (m *Machine) RunSourceWarm(src InstSource, prof workload.Profile, warm int)
 		m.execSegment(&segs[i])
 		m.sel.Recycle(&segs[i])
 	}
-	for m.dqLen() > 0 {
-		m.tick()
-	}
-	for m.cold.InFlight() > 0 || (m.model.Split && m.hot.InFlight() > 0) {
-		m.tick()
-	}
+	m.drain()
 	return m.collect(prof)
 }

@@ -31,11 +31,17 @@ type Config struct {
 	Parallelism int
 }
 
-// Results holds the complete model × application result matrix.
+// Results holds the complete model × application result matrix as a dense
+// row-major slice (one row per model, one column per application). Cells are
+// disjoint slots: during Run each is written by exactly one worker, so the
+// fan-out needs no result lock.
 type Results struct {
-	cfg     Config
-	byModel map[config.ModelID]map[string]*core.Result
-	apps    []workload.Profile
+	cfg      Config
+	apps     []workload.Profile
+	models   []config.Model
+	modelIdx map[config.ModelID]int // model ID -> matrix row
+	appIdx   map[string]int         // app name -> matrix column
+	matrix   []*core.Result         // len(models) * len(apps)
 
 	// PMax is the highest average dynamic power of the base model N across
 	// the suite — the anchor of the leakage formula (§3.2). The paper
@@ -47,6 +53,13 @@ type Results struct {
 // Run executes the full experiment matrix deterministically (each
 // model/application simulation is independent; parallel execution does not
 // change any result).
+//
+// The fan-out is mutex-free on the hot path: all jobs are preloaded into a
+// buffered channel (no producer goroutine, no send blocking), each worker
+// writes only its own cells of the preallocated matrix, and each worker
+// keeps one machine per model — drawn from core.DefaultPool on first use and
+// Reset between runs — so the pool lock is touched O(workers × models)
+// times instead of once per cell.
 func Run(cfg Config) *Results {
 	apps := cfg.Apps
 	if apps == nil {
@@ -62,47 +75,63 @@ func Run(cfg Config) *Results {
 	}
 
 	res := &Results{
-		cfg:     cfg,
-		byModel: make(map[config.ModelID]map[string]*core.Result),
-		apps:    apps,
+		cfg:      cfg,
+		apps:     apps,
+		models:   models,
+		modelIdx: make(map[config.ModelID]int, len(models)),
+		appIdx:   make(map[string]int, len(apps)),
+		matrix:   make([]*core.Result, len(models)*len(apps)),
 	}
-	for _, m := range models {
-		res.byModel[m.ID] = make(map[string]*core.Result)
+	for i, m := range models {
+		res.modelIdx[m.ID] = i
+	}
+	for i, p := range apps {
+		res.appIdx[p.Name] = i
 	}
 
-	type job struct {
-		model config.Model
-		prof  workload.Profile
+	// Preload every cell index; model-major order keeps consecutive jobs on
+	// the same model, so a worker's locally held machine is reused (Reset)
+	// rather than re-fetched for most of its jobs.
+	jobs := make(chan int, len(res.matrix))
+	for i := range res.matrix {
+		jobs <- i
 	}
-	jobs := make(chan job)
-	var mu sync.Mutex
+	close(jobs)
+
 	var wg sync.WaitGroup
 	for w := 0; w < par; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for j := range jobs {
-				r := core.RunWarm(j.model, j.prof, cfg.Insts)
-				mu.Lock()
-				res.byModel[j.model.ID][j.prof.Name] = r
-				mu.Unlock()
+			local := make(map[config.Model]*core.Machine, len(models))
+			defer func() {
+				for _, m := range local {
+					core.DefaultPool.Put(m)
+				}
+			}()
+			for idx := range jobs {
+				model := models[idx/len(apps)]
+				m := local[model]
+				if m == nil {
+					m = core.DefaultPool.Get(model) // arrives reset
+					local[model] = m
+				} else {
+					m.Reset()
+				}
+				res.matrix[idx] = core.RunWarmOn(m, apps[idx%len(apps)], cfg.Insts)
 			}
 		}()
 	}
-	for _, m := range models {
-		for _, p := range apps {
-			jobs <- job{m, p}
-		}
-	}
-	close(jobs)
 	wg.Wait()
 
-	// Leakage anchor: P_MAX of the base model.
-	if nres, ok := res.byModel[config.N]; ok {
-		for app, r := range nres {
-			if p := r.AvgDynPower(); p > res.PMax {
-				res.PMax = p
-				res.PMaxApp = app
+	// Leakage anchor: P_MAX of the base model, scanned in roster order.
+	if row, ok := res.modelIdx[config.N]; ok {
+		for i, p := range apps {
+			if r := res.matrix[row*len(apps)+i]; r != nil {
+				if pw := r.AvgDynPower(); pw > res.PMax {
+					res.PMax = pw
+					res.PMaxApp = p.Name
+				}
 			}
 		}
 	}
@@ -111,21 +140,35 @@ func Run(cfg Config) *Results {
 
 // Get returns the result for one model/application pair.
 func (r *Results) Get(id config.ModelID, app string) *core.Result {
-	return r.byModel[id][app]
+	mi, ok := r.modelIdx[id]
+	if !ok {
+		return nil
+	}
+	ai, ok := r.appIdx[app]
+	if !ok {
+		return nil
+	}
+	return r.matrix[mi*len(r.apps)+ai]
 }
 
 // Apps returns the benchmark roster of this run.
 func (r *Results) Apps() []workload.Profile { return r.apps }
 
-// Models returns the model IDs present.
+// Models returns the model IDs present, in config.All order.
 func (r *Results) Models() []config.ModelID {
-	out := make([]config.ModelID, 0, len(r.byModel))
+	out := make([]config.ModelID, 0, len(r.models))
 	for _, m := range config.All() {
-		if _, ok := r.byModel[m.ID]; ok {
+		if _, ok := r.modelIdx[m.ID]; ok {
 			out = append(out, m.ID)
 		}
 	}
 	return out
+}
+
+// has reports whether the run includes the model.
+func (r *Results) has(id config.ModelID) bool {
+	_, ok := r.modelIdx[id]
+	return ok
 }
 
 // TotalEnergy returns total (dynamic + leakage) energy of a run.

@@ -126,7 +126,7 @@ func (r *Results) Fig43() *Figure {
 func (r *Results) mainModels() []config.ModelID {
 	models := []config.ModelID{}
 	for _, id := range []config.ModelID{config.TN, config.TON, config.W, config.TW, config.TOW, config.TOS} {
-		if _, ok := r.byModel[id]; ok {
+		if r.has(id) {
 			models = append(models, id)
 		}
 	}
@@ -243,7 +243,7 @@ func (r *Results) Fig411() *Figure {
 	cols := []string{"component"}
 	for _, app := range Fig411Apps {
 		for _, m := range Fig411Models {
-			if _, ok := r.byModel[m]; !ok {
+			if !r.has(m) {
 				continue
 			}
 			cols = append(cols, fmt.Sprintf("%s/%s", app, m))

@@ -273,52 +273,49 @@ func (c ExecClass) String() string {
 	return fmt.Sprintf("class?%d", int(c))
 }
 
-// Latency returns the baseline execution latency, in cycles, of the class.
-// Load latency covers only the L1 hit path; misses add memory-system cycles.
-func (c ExecClass) Latency() int {
-	switch c {
-	case ClassIntALU, ClassBranch, ClassStore:
-		return 1
-	case ClassIntMul:
-		return 3
-	case ClassIntDiv:
-		return 12
-	case ClassFPAdd:
-		return 3
-	case ClassFPMul:
-		return 4
-	case ClassFPDiv:
-		return 14
-	case ClassLoad:
-		return 3
-	}
-	return 1
+// classLatency is the baseline execution latency of each class, precomputed
+// so Latency is a branch-free table lookup on the simulator's issue path.
+var classLatency = [NumExecClasses]int{
+	ClassNop:    1,
+	ClassIntALU: 1,
+	ClassIntMul: 3,
+	ClassIntDiv: 12,
+	ClassFPAdd:  3,
+	ClassFPMul:  4,
+	ClassFPDiv:  14,
+	ClassLoad:   3,
+	ClassStore:  1,
+	ClassBranch: 1,
 }
 
-// Class returns the functional-unit class executing opcode o.
-func (o Op) Class() ExecClass {
-	switch o {
-	case OpNop:
-		return ClassNop
-	case OpMul:
-		return ClassIntMul
-	case OpDiv:
-		return ClassIntDiv
-	case OpFAdd, OpFMov:
-		return ClassFPAdd
-	case OpFMul, OpFusedFP:
-		return ClassFPMul
-	case OpFDiv:
-		return ClassFPDiv
-	case OpLoad:
-		return ClassLoad
-	case OpStore:
-		return ClassStore
-	case OpBr, OpJmp, OpJmpI, OpCall, OpRet, OpAssert, OpAssertJmpI, OpFusedCmpBr:
-		return ClassBranch
+// Latency returns the baseline execution latency, in cycles, of the class.
+// Load latency covers only the L1 hit path; misses add memory-system cycles.
+func (c ExecClass) Latency() int { return classLatency[c] }
+
+// opClass maps each opcode to its functional-unit class, precomputed so the
+// per-dispatch Class call is a table lookup instead of a 20-way switch.
+// Opcodes without an explicit entry execute on the integer ALU.
+var opClass = func() [numOps]ExecClass {
+	var t [numOps]ExecClass
+	for o := range t {
+		t[o] = ClassIntALU
 	}
-	return ClassIntALU
-}
+	t[OpNop] = ClassNop
+	t[OpMul] = ClassIntMul
+	t[OpDiv] = ClassIntDiv
+	t[OpFAdd], t[OpFMov] = ClassFPAdd, ClassFPAdd
+	t[OpFMul], t[OpFusedFP] = ClassFPMul, ClassFPMul
+	t[OpFDiv] = ClassFPDiv
+	t[OpLoad] = ClassLoad
+	t[OpStore] = ClassStore
+	for _, o := range []Op{OpBr, OpJmp, OpJmpI, OpCall, OpRet, OpAssert, OpAssertJmpI, OpFusedCmpBr} {
+		t[o] = ClassBranch
+	}
+	return t
+}()
+
+// Class returns the functional-unit class executing opcode o.
+func (o Op) Class() ExecClass { return opClass[o] }
 
 // IsBranch reports whether o transfers control (including trace asserts).
 func (o Op) IsBranch() bool { return o.Class() == ClassBranch }

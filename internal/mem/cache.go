@@ -35,13 +35,20 @@ type Cache struct {
 	lineShift uint
 	setMask   uint64
 
-	tags  []uint64 // sets*ways, tag per way
-	valid []bool
-	pref  []bool   // line was filled by prefetch and not yet demand-hit
-	used  []uint64 // LRU timestamps
+	lines []cacheLine // sets*ways, way-major within each set
 	clock uint64
 
 	Stats CacheStats
+}
+
+// cacheLine is one way of one set. Keeping the tag, LRU stamp and flags in
+// a single struct means a set probe walks ways*24 contiguous bytes instead
+// of four parallel arrays (one cache-line touch per array per probe).
+type cacheLine struct {
+	tag   uint64
+	used  uint64 // LRU timestamp
+	valid bool
+	pref  bool // line was filled by prefetch and not yet demand-hit
 }
 
 // NewCache builds a cache of the given total size in bytes, associativity
@@ -66,10 +73,7 @@ func NewCache(name string, size, ways, line int) *Cache {
 		ways:      ways,
 		lineShift: shift,
 		setMask:   uint64(sets - 1),
-		tags:      make([]uint64, sets*ways),
-		valid:     make([]bool, sets*ways),
-		pref:      make([]bool, sets*ways),
-		used:      make([]uint64, sets*ways),
+		lines:     make([]cacheLine, sets*ways),
 	}
 }
 
@@ -90,9 +94,9 @@ func (c *Cache) LineSize() int { return 1 << c.lineShift }
 func (c *Cache) Lookup(addr uint64) bool {
 	set := int((addr >> c.lineShift) & c.setMask)
 	tag := addr >> c.lineShift
-	base := set * c.ways
-	for w := 0; w < c.ways; w++ {
-		if c.valid[base+w] && c.tags[base+w] == tag {
+	lines := c.lines[set*c.ways : set*c.ways+c.ways]
+	for i := range lines {
+		if lines[i].valid && lines[i].tag == tag {
 			return true
 		}
 	}
@@ -118,40 +122,47 @@ func (c *Cache) AccessTagged(addr uint64, write, asPrefetch bool) (hit, firstPre
 	}
 	set := int((addr >> c.lineShift) & c.setMask)
 	tag := addr >> c.lineShift
-	base := set * c.ways
-	victim := base
-	for w := 0; w < c.ways; w++ {
-		i := base + w
-		if c.valid[i] && c.tags[i] == tag {
-			c.used[i] = c.clock
+	lines := c.lines[set*c.ways : set*c.ways+c.ways]
+	// Hit scan first: hits are the overwhelmingly common case, so victim
+	// selection (only meaningful on a miss) is deferred to a second pass.
+	for i := range lines {
+		ln := &lines[i]
+		if ln.valid && ln.tag == tag {
+			ln.used = c.clock
 			c.Stats.Hits++
-			if c.pref[i] && !asPrefetch {
-				c.pref[i] = false
+			if ln.pref && !asPrefetch {
+				ln.pref = false
 				return true, true
 			}
 			return true, false
 		}
-		if !c.valid[i] {
+	}
+	// Miss: pick the victim exactly as the fused scan did — the last
+	// invalid way if any, else the least-recently-used valid way.
+	victim := 0
+	for i := range lines {
+		if !lines[i].valid {
 			victim = i
-		} else if c.valid[victim] && c.used[i] < c.used[victim] {
+		} else if lines[victim].valid && lines[i].used < lines[victim].used {
 			victim = i
 		}
 	}
 	c.Stats.Misses++
-	if c.valid[victim] {
+	v := &lines[victim]
+	if v.valid {
 		c.Stats.Evictions++
 	}
-	c.valid[victim] = true
-	c.tags[victim] = tag
-	c.pref[victim] = asPrefetch
-	c.used[victim] = c.clock
+	v.valid = true
+	v.tag = tag
+	v.pref = asPrefetch
+	v.used = c.clock
 	return false, false
 }
 
 // Flush invalidates the entire cache, preserving statistics.
 func (c *Cache) Flush() {
-	for i := range c.valid {
-		c.valid[i] = false
+	for i := range c.lines {
+		c.lines[i].valid = false
 	}
 }
 
@@ -159,11 +170,8 @@ func (c *Cache) Flush() {
 // clock and statistics are all cleared. Part of the machine-pooling Reset
 // protocol; a reset cache behaves bit-identically to a fresh one.
 func (c *Cache) Reset() {
-	for i := range c.valid {
-		c.valid[i] = false
-		c.pref[i] = false
-		c.tags[i] = 0
-		c.used[i] = 0
+	for i := range c.lines {
+		c.lines[i] = cacheLine{}
 	}
 	c.clock = 0
 	c.Stats = CacheStats{}
@@ -262,6 +270,11 @@ func (h *Hierarchy) AccessData(addr uint64, write bool) int {
 	}
 	return h.cfg.L2Latency + h.cfg.MemLatency
 }
+
+// MaxDataLatency bounds AccessData's return value: a full L1-and-L2 miss.
+// It makes *Hierarchy a concrete ooo.MemModel, letting the execution engine
+// size its completion time wheel to cover every possible data access.
+func (h *Hierarchy) MaxDataLatency() int { return h.cfg.L2Latency + h.cfg.MemLatency }
 
 // prefetch fills a line into L1D and L2 without perturbing demand
 // statistics.

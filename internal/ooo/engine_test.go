@@ -183,8 +183,8 @@ func TestBackpressure(t *testing.T) {
 		u := alu(2, 3, 4)
 		e.Dispatch(&u, 0, true, false)
 	}
-	if len(e.iq) != cfg.IQSize {
-		t.Errorf("iq = %d, want full %d", len(e.iq), cfg.IQSize)
+	if e.IQLen() != cfg.IQSize {
+		t.Errorf("iq = %d, want full %d", e.IQLen(), cfg.IQSize)
 	}
 	e.Drain()
 	if !e.CanDispatch() {

@@ -1,0 +1,226 @@
+package ooo
+
+import (
+	"fmt"
+	"testing"
+
+	"parrot/internal/isa"
+)
+
+// The tests in this file lock in the bit-exact behaviour of the
+// poll-everything engine ahead of the event-driven rewrite (PR 2): they
+// assert the complete Stats vector of deterministic programs that stress the
+// two subtlest issue-path hazards — non-pipelined divider contention across
+// both divide classes, and load-vs-store disambiguation while the store ring
+// wraps. The golden values below were captured on the pre-rewrite engine;
+// the rewrite must reproduce them exactly.
+
+// statsKey summarizes a Stats vector as a comparable string.
+func statsKey(s Stats) string {
+	return fmt.Sprintf("cyc=%d disp=%d iss=%d com=%d rr=%d rw=%d wake=%d robw=%d robr=%d cls=%v",
+		s.Cycles, s.UopsDispatched, s.UopsIssued, s.UopsCommitted,
+		s.RegReads, s.RegWrites, s.Wakeups, s.ROBWrites, s.ROBReads, s.OpsByClass)
+}
+
+// divSaturationProgram interleaves integer and FP divides (both non-pipelined
+// classes) with dependent consumers so that unit busy windows overlap: at any
+// time several divides of each class compete for the single (narrow) or dual
+// (wide) units while their latencies (12 vs 14 cycles) drift in and out of
+// phase.
+func divSaturationProgram() []isa.Uop {
+	var prog []isa.Uop
+	for i := 0; i < 24; i++ {
+		id := isa.NewUop(isa.OpDiv)
+		id.Dst[0] = isa.GPR(i % 6)
+		id.Src[0] = isa.GPR(8 + i%2)
+		id.Src[1] = isa.GPR(10 + i%3)
+		prog = append(prog, id)
+
+		fd := isa.NewUop(isa.OpFDiv)
+		fd.Dst[0] = isa.FPR(i % 5)
+		fd.Src[0] = isa.FPR(8 + i%3)
+		fd.Src[1] = isa.FPR(11 + i%2)
+		prog = append(prog, fd)
+
+		if i%3 == 0 {
+			// Consumer of the most recent integer divide: wakeup ordering
+			// between the two divide classes is observable here.
+			use := isa.NewUop(isa.OpAdd)
+			use.Dst[0] = isa.GPR(12)
+			use.Src[0] = isa.GPR(i % 6)
+			use.Src[1] = isa.GPR(12)
+			prog = append(prog, use)
+		}
+		if i%4 == 1 {
+			fuse := isa.NewUop(isa.OpFAdd)
+			fuse.Dst[0] = isa.FPR(6)
+			fuse.Src[0] = isa.FPR(i % 5)
+			fuse.Src[1] = isa.FPR(6)
+			prog = append(prog, fuse)
+		}
+	}
+	return prog
+}
+
+const (
+	goldenDivContentionNarrow = "cyc=337 disp=62 iss=62 com=62 rr=124 rw=62 wake=62 robw=62 robr=124 cls=[0 8 0 24 6 0 24 0 0 0]"
+	goldenDivContentionWide   = "cyc=169 disp=62 iss=62 com=62 rr=124 rw=62 wake=62 robw=62 robr=124 cls=[0 8 0 24 6 0 24 0 0 0]"
+)
+
+// TestDividerContentionBitExact saturates both non-pipelined divide classes
+// with overlapping latencies and pins the full statistics vector on the
+// narrow (one unit per class) and wide (two units per class) machines.
+func TestDividerContentionBitExact(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		cfg    Config
+		golden string
+	}{
+		{"narrow", Narrow(), goldenDivContentionNarrow},
+		{"wide", Wide(), goldenDivContentionWide},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			e := New(tc.cfg, nil)
+			run(e, divSaturationProgram(), nil)
+			if got := statsKey(e.Stats); got != tc.golden {
+				t.Fatalf("divider contention stats diverged:\n got  %s\n want %s", got, tc.golden)
+			}
+		})
+	}
+}
+
+// TestDividerContentionSerializes sanity-checks the structural hazard itself:
+// with both classes saturated, the run must take at least as long as the
+// slowest class's total occupancy on one unit.
+func TestDividerContentionSerializes(t *testing.T) {
+	e := New(Narrow(), nil)
+	run(e, divSaturationProgram(), nil)
+	// 24 FP divides × 14 cycles on a single non-pipelined unit.
+	if e.Stats.Cycles < 24*14 {
+		t.Fatalf("saturated divides finished in %d cycles, want >= %d", e.Stats.Cycles, 24*14)
+	}
+	w := New(Wide(), nil)
+	run(w, divSaturationProgram(), nil)
+	if w.Stats.Cycles >= e.Stats.Cycles {
+		t.Fatalf("two units per class not faster: wide %d vs narrow %d cycles",
+			w.Stats.Cycles, e.Stats.Cycles)
+	}
+}
+
+// wrapDisambiguationProgram drives the store ring through several full
+// wrap-arounds while loads alias pending stores: every fourth store is
+// followed by a load to the same address whose data producer (a multiply
+// chain) delays the store's completion, so the load must observe the
+// blocking store across arbitrary ring index positions.
+func wrapDisambiguationProgram(ringLen int) (prog []isa.Uop, addrs []uint64) {
+	total := 3 * ringLen // three full wraps
+	for i := 0; i < total; i++ {
+		if i%4 == 0 {
+			// Slow producer for the store data register.
+			mul := isa.NewUop(isa.OpMul)
+			mul.Dst[0] = isa.GPR(9)
+			mul.Src[0] = isa.GPR(9)
+			mul.Src[1] = isa.GPR(8)
+			prog = append(prog, mul)
+			addrs = append(addrs, 0)
+		}
+		st := isa.NewUop(isa.OpStore)
+		st.Src[0] = isa.GPR(2)
+		st.Src[1] = isa.GPR(9) // data from the multiply chain
+		prog = append(prog, st)
+		addrs = append(addrs, uint64(0x1000+(i%8)*64))
+		if i%4 == 3 {
+			// Aliasing load: same address as the store two slots back.
+			ld := isa.NewUop(isa.OpLoad)
+			ld.Dst[0] = isa.GPR(4)
+			ld.Src[0] = isa.GPR(2)
+			prog = append(prog, ld)
+			addrs = append(addrs, uint64(0x1000+(i%8)*64))
+			// And an independent load that must NOT block.
+			ld2 := isa.NewUop(isa.OpLoad)
+			ld2.Dst[0] = isa.GPR(5)
+			ld2.Src[0] = isa.GPR(3)
+			prog = append(prog, ld2)
+			addrs = append(addrs, uint64(0x9000+(i%8)*64))
+		}
+	}
+	return prog, addrs
+}
+
+const goldenWrapDisambiguation = "cyc=391 disp=672 iss=672 com=672 rr=1152 rw=288 wake=672 robw=672 robr=1344 cls=[0 0 96 0 0 0 0 192 384 0]"
+
+// TestLoadStoreDisambiguationAtWrapBitExact pins the exact behaviour of
+// load-vs-store ordering while the disambiguation ring wraps around several
+// times.
+func TestLoadStoreDisambiguationAtWrapBitExact(t *testing.T) {
+	e := New(Narrow(), nil)
+	prog, addrs := wrapDisambiguationProgram(len(e.stores))
+	run(e, prog, addrs)
+	if e.StoreQueueLen() != 0 {
+		t.Fatalf("%d stores left in ring", e.StoreQueueLen())
+	}
+	if got := statsKey(e.Stats); got != goldenWrapDisambiguation {
+		t.Fatalf("wrap-around disambiguation stats diverged:\n got  %s\n want %s",
+			got, goldenWrapDisambiguation)
+	}
+}
+
+// TestAliasingLoadOrderedAfterStoreAtWrap checks the ordering property
+// directly at a wrapped ring position: the aliasing load completes only after
+// its blocking store, while the independent load does not wait.
+func TestAliasingLoadOrderedAfterStoreAtWrap(t *testing.T) {
+	e := New(Narrow(), nil)
+	ringLen := len(e.stores)
+
+	// Fill and retire enough stores to wrap the ring indices.
+	for i := 0; i < ringLen+ringLen/2; i++ {
+		for !e.CanDispatch() {
+			e.Cycle()
+		}
+		st := isa.NewUop(isa.OpStore)
+		st.Src[0] = isa.GPR(1)
+		st.Src[1] = isa.GPR(2)
+		e.Dispatch(&st, uint64(i*64), true, false)
+	}
+	e.Drain()
+
+	// Slow producer feeds a store; an aliasing and an independent load follow.
+	mul := isa.NewUop(isa.OpMul)
+	mul.Dst[0] = isa.GPR(9)
+	mul.Src[0] = isa.GPR(9)
+	mul.Src[1] = isa.GPR(8)
+	st := isa.NewUop(isa.OpStore)
+	st.Src[0] = isa.GPR(2)
+	st.Src[1] = isa.GPR(9)
+	ld := isa.NewUop(isa.OpLoad)
+	ld.Dst[0] = isa.GPR(4)
+	ld.Src[0] = isa.GPR(3)
+	ind := isa.NewUop(isa.OpLoad)
+	ind.Dst[0] = isa.GPR(5)
+	ind.Src[0] = isa.GPR(3)
+
+	e.Dispatch(&mul, 0, true, false)
+	hs := e.Dispatch(&st, 0x4000, true, false)
+	hl := e.Dispatch(&ld, 0x4000, true, false)
+	hi := e.Dispatch(&ind, 0x8000, true, false)
+
+	sDone, lDone, iDone := uint64(0), uint64(0), uint64(0)
+	for e.InFlight() > 0 {
+		e.Cycle()
+		if sDone == 0 && e.Done(hs) {
+			sDone = e.Now()
+		}
+		if lDone == 0 && e.Done(hl) {
+			lDone = e.Now()
+		}
+		if iDone == 0 && e.Done(hi) {
+			iDone = e.Now()
+		}
+	}
+	if lDone <= sDone {
+		t.Fatalf("aliasing load done at %d, store at %d: load bypassed pending store", lDone, sDone)
+	}
+	if iDone >= lDone {
+		t.Fatalf("independent load (done %d) waited with the aliasing load (done %d)", iDone, lDone)
+	}
+}

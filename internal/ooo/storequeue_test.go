@@ -20,8 +20,7 @@ func TestStoreRetirementOrder(t *testing.T) {
 		// Deterministic but irregular extra latency.
 		return int(addr>>3) % 7
 	}
-	e := New(Narrow(), nil)
-	e.memLatency = lat
+	e := New(Narrow(), lat)
 
 	var storeHandles []Handle
 	dispatched := 0

@@ -343,7 +343,7 @@ func TestOptimizerSemanticPreservationOnRealTraces(t *testing.T) {
 			if !ok {
 				break
 			}
-			for _, seg := range sel.Feed(d) {
+			for _, seg := range sel.Feed(&d) {
 				if checked >= 120 {
 					break
 				}
@@ -384,7 +384,7 @@ func TestOptimizerReductionBands(t *testing.T) {
 			if !ok {
 				break
 			}
-			for _, seg := range sel.Feed(d) {
+			for _, seg := range sel.Feed(&d) {
 				if !d.HotPhase {
 					continue // optimizer only sees blazing (hot) traces
 				}

@@ -112,7 +112,7 @@ func (s *Selector) Recycle(seg *Segment) {
 // another remains pending) to an internal buffer that is returned. The
 // returned slice and the segments' instruction storage are valid until the
 // next Feed or Flush call unless recycled earlier.
-func (s *Selector) Feed(d workload.DynInst) []Segment {
+func (s *Selector) Feed(d *workload.DynInst) []Segment {
 	s.out = s.out[:0]
 
 	nu := len(d.Inst.Uops)
@@ -129,7 +129,7 @@ func (s *Selector) Feed(d workload.DynInst) []Segment {
 			s.cur.Insts = s.grabInsts()
 		}
 	}
-	s.cur.Insts = append(s.cur.Insts, d)
+	s.cur.Insts = append(s.cur.Insts, *d)
 	s.cur.Uops += nu
 
 	terminate := false

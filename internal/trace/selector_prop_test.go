@@ -28,7 +28,7 @@ func TestSelectorPartitionProperty(t *testing.T) {
 				break
 			}
 			fed = append(fed, d)
-			segs = append(segs, sel.Feed(d)...)
+			segs = append(segs, sel.Feed(&d)...)
 		}
 		segs = append(segs, sel.Flush()...)
 
@@ -83,7 +83,7 @@ func TestSelectorDeterminismProperty(t *testing.T) {
 			if !ok {
 				break
 			}
-			for _, s := range sel.Feed(d) {
+			for _, s := range sel.Feed(&d) {
 				tids = append(tids, s.TID)
 			}
 		}
@@ -116,7 +116,7 @@ func TestJoiningBoundsUnrolling(t *testing.T) {
 		if !ok {
 			break
 		}
-		for _, seg := range sel.Feed(d) {
+		for _, seg := range sel.Feed(&d) {
 			if seg.Joined < 1 {
 				t.Fatalf("joined = %d", seg.Joined)
 			}

@@ -88,7 +88,7 @@ func dyn(in *isa.Inst, taken bool) workload.DynInst {
 func feedAll(sel *Selector, ds []workload.DynInst) []Segment {
 	var out []Segment
 	for _, d := range ds {
-		out = append(out, sel.Feed(d)...)
+		out = append(out, sel.Feed(&d)...)
 	}
 	out = append(out, sel.Flush()...)
 	return out
@@ -253,7 +253,7 @@ func TestSelectorOnRealWorkload(t *testing.T) {
 			break
 		}
 		insts++
-		segs = append(segs, sel.Feed(d)...)
+		segs = append(segs, sel.Feed(&d)...)
 	}
 	segs = append(segs, sel.Flush()...)
 

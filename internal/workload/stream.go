@@ -390,24 +390,42 @@ func (s *Stream) decide(b *Block) bool {
 // the address of the dynamically following instruction (0 when the episode
 // ends and the successor is unrelated code).
 func (s *Stream) emitBlock(b *Block, hot, takenTerm bool, nextPC uint64) int {
+	n := len(b.Insts)
+	if n == 0 {
+		return 0
+	}
+	// Grow the queue once per block and fill the slots in place: the
+	// per-instruction append in the old loop copied every DynInst twice and
+	// re-checked capacity each time.
+	base := len(s.queue)
+	if cap(s.queue) >= base+n {
+		s.queue = s.queue[:base+n]
+	} else {
+		s.queue = append(s.queue, make([]DynInst, n)...)
+	}
+	q := s.queue[base:]
 	for i, in := range b.Insts {
-		d := DynInst{Inst: in, HotPhase: hot, NextPC: in.FallThrough()}
+		d := &q[i]
+		d.Inst = in
+		d.Taken = false
+		d.NextPC = in.FallThrough()
+		d.MemAddr = 0
+		d.HotPhase = hot
+		d.EpisodeEnd = false
 		if sid := b.MemStream[i]; sid >= 0 {
 			d.MemAddr = s.memAddr(int(sid))
 		}
-		if i == len(b.Insts)-1 {
-			if b.Term != TermFall {
-				d.Taken = takenTerm
-			}
-			if nextPC != 0 {
-				d.NextPC = nextPC
-			} else {
-				d.EpisodeEnd = true
-			}
-		}
-		s.queue = append(s.queue, d)
 	}
-	return len(b.Insts)
+	last := &q[n-1]
+	if b.Term != TermFall {
+		last.Taken = takenTerm
+	}
+	if nextPC != 0 {
+		last.NextPC = nextPC
+	} else {
+		last.EpisodeEnd = true
+	}
+	return n
 }
 
 // memAddr advances one address stream and returns the next address.

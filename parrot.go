@@ -180,7 +180,7 @@ func SampleTraces(app Profile, insts, max int) []*Trace {
 		if !ok {
 			break
 		}
-		for _, seg := range sel.Feed(d) {
+		for _, seg := range sel.Feed(&d) {
 			if len(out) >= max {
 				return out
 			}
