@@ -17,6 +17,8 @@
 //	parrotbench -quick           # restrict studies to 1 app per suite
 //	parrotbench -simbench        # simulation-kernel throughput report (JSON)
 //	parrotbench -enginebench     # engine per-cycle micro-benchmark report (JSON)
+//	parrotbench -checkbaseline BENCH_simkernel.json   # CI perf-regression gate
+//	parrotbench -progress        # live done/total + ETA on stderr
 //	parrotbench -cpuprofile f    # write a CPU profile (any mode)
 //	parrotbench -memprofile f    # write a heap profile on exit (any mode)
 package main
@@ -55,6 +57,9 @@ func run() error {
 	jsonOut := flag.Bool("json", false, "emit the full result matrix as JSON instead of figures")
 	simbench := flag.Bool("simbench", false, "measure simulation-kernel throughput and emit a JSON report")
 	enginebench := flag.Bool("enginebench", false, "measure engine micro-workloads and emit a JSON report")
+	checkBaseline := flag.String("checkbaseline", "", "perf gate: compare a fresh steady matrix pass against this BENCH_simkernel.json")
+	maxRegress := flag.Float64("maxregress", 0.10, "max fractional sim-MIPS regression tolerated by -checkbaseline")
+	progress := flag.Bool("progress", false, "report matrix progress and ETA on stderr")
 	prof := profiling.Define()
 	flag.Parse()
 
@@ -69,6 +74,10 @@ func run() error {
 
 	if *simbench {
 		return runSimBench(*n, os.Stdout)
+	}
+
+	if *checkBaseline != "" {
+		return runBaselineCheck(*checkBaseline, *n, *maxRegress, os.Stdout)
 	}
 
 	if *enginebench {
@@ -109,6 +118,15 @@ func run() error {
 	}
 
 	cfg := parrot.ExperimentConfig{Insts: *n}
+	if *progress {
+		cfg.Progress = func(done, total int, elapsed, eta time.Duration) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d cells  elapsed %v  eta %v   ",
+				done, total, elapsed.Round(time.Second), eta.Round(time.Second))
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
 	if *models != "" {
 		var ms []config.Model
 		for _, id := range strings.Split(*models, ",") {

@@ -5,12 +5,14 @@
 // Usage:
 //
 //	parrotsim -model TON -app swim -n 200000
+//	parrotsim -model TON -app swim -json
 //	parrotsim -model TON -tracefile swim.ptrace
 //	parrotsim -list
 //	parrotsim -model TON -app swim -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +21,7 @@ import (
 	"parrot/internal/config"
 	"parrot/internal/core"
 	"parrot/internal/energy"
+	"parrot/internal/experiments"
 	"parrot/internal/profiling"
 	"parrot/internal/tracefile"
 	"parrot/internal/workload"
@@ -56,6 +59,7 @@ func main() {
 	n := flag.Int("n", 0, "dynamic instructions (0 = profile default)")
 	traceFile := flag.String("tracefile", "", "replay a captured trace file instead of synthesizing -app")
 	list := flag.Bool("list", false, "list models and applications, then exit")
+	jsonOut := flag.Bool("json", false, "emit the run result as machine-readable JSON")
 	prof := profiling.Define()
 	flag.Parse()
 
@@ -91,6 +95,19 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+
+	if *jsonOut {
+		// A single run has no matrix-wide P_MAX; the run's own average
+		// dynamic power anchors the leakage term.
+		s := experiments.Summarize(r, r.AvgDynPower())
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(s); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	fmt.Printf("model %s on %s (%s)\n\n", r.Model, r.App, r.Suite)

@@ -20,6 +20,7 @@ import (
 	"parrot/internal/filter"
 	"parrot/internal/isa"
 	"parrot/internal/mem"
+	"parrot/internal/obs"
 	"parrot/internal/ooo"
 	"parrot/internal/opt"
 	"parrot/internal/tcache"
@@ -148,6 +149,12 @@ type Machine struct {
 	diagResolve      uint64 // cycles waiting for a mispredicted CTI to resolve
 	diagColdResident uint64 // segments run cold although their trace was resident
 	diagColdAbsent   uint64 // segments run cold with no resident trace
+
+	// Observability (nil when disabled; every hook is one predictable
+	// branch, see observe.go).
+	rec         *obs.Recorder
+	obsBase     obsBaseline
+	obsNextIval uint64
 }
 
 // New builds a machine for the given model configuration.
@@ -341,6 +348,9 @@ func (m *Machine) skipCycles(k uint64) {
 	if m.split {
 		m.hot.Skip(k)
 	}
+	if m.rec != nil {
+		m.obsSkip(k)
+	}
 }
 
 // tick advances the machine one cycle: dispatch, then engine clocks.
@@ -377,10 +387,14 @@ func (m *Machine) tick() {
 		}
 		if *budget == 0 || !eng.CanDispatch() {
 			if *budget > 0 {
-				if eng.InFlight() >= eng.Config().ROBSize {
+				rob := eng.InFlight() >= eng.Config().ROBSize
+				if rob {
 					eng.NoteStallROB()
 				} else {
 					eng.NoteStallIQ()
+				}
+				if m.rec != nil {
+					m.rec.Stall(rob, m.split && it.hot)
 				}
 			}
 			break
@@ -402,6 +416,9 @@ func (m *Machine) tick() {
 		_, ci, te = m.hot.Cycle()
 		m.insts += uint64(ci)
 		m.creditTraces(te)
+	}
+	if m.rec != nil {
+		m.obsTick()
 	}
 }
 
@@ -467,6 +484,9 @@ func (m *Machine) RunSource(src InstSource, prof workload.Profile) *Result {
 		m.sel.Recycle(&segs[i])
 	}
 	m.drain()
+	if m.rec != nil {
+		m.obsFinish()
+	}
 	return m.collect(prof)
 }
 
@@ -489,6 +509,9 @@ func (m *Machine) drain() {
 // appropriate pipeline, then performs the background phases.
 func (m *Machine) execSegment(seg *trace.Segment) {
 	if !m.traceCache {
+		if m.rec != nil {
+			m.rec.Segment(seg.TID, seg.NumInsts(), seg.Uops, false)
+		}
 		m.execCold(seg)
 		return
 	}
@@ -541,6 +564,10 @@ func (m *Machine) execSegment(seg *trace.Segment) {
 	m.tp.Train(key, pred, predOK)
 	m.counts.Add(energy.EvTPredUpdate, 1)
 
+	if m.rec != nil {
+		m.obsSegment(seg, key, pred, predOK, hot)
+	}
+
 	if hot {
 		m.hotSegments++
 		m.execHot(seg, tr)
@@ -574,6 +601,9 @@ func (m *Machine) traceMatches(tr *trace.Trace, seg *trace.Segment) bool {
 // executes until its first failing assert, the accumulated state is flushed
 // and the architectural state at trace start restored (§2.3).
 func (m *Machine) traceAbort(tr *trace.Trace) {
+	if m.rec != nil {
+		m.rec.TraceAbort(tr.TID)
+	}
 	m.traceAborts++
 	wasted := uint64(len(tr.Uops) / 2)
 	m.abortedUops += wasted
@@ -600,6 +630,9 @@ func (m *Machine) background(seg *trace.Segment, key uint64, hot bool, tr *trace
 		} else if m.model.Optimize {
 			m.counts.Add(energy.EvBlazeFilter, 1)
 			if _, promoted := m.blazeF.Bump(key); promoted {
+				if m.rec != nil {
+					m.rec.BlazePromote(tr.TID)
+				}
 				m.optimizeTrace(key, tr)
 			}
 		}
@@ -615,6 +648,9 @@ func (m *Machine) background(seg *trace.Segment, key uint64, hot bool, tr *trace
 	m.diagColdAbsent++
 	m.counts.Add(energy.EvHotFilter, 1)
 	if _, promoted := m.hotF.Bump(key); promoted {
+		if m.rec != nil {
+			m.rec.HotPromote(seg.TID)
+		}
 		t := trace.BuildInto(m.takeFreeTrace(), seg)
 		if ev := m.tc.Insert(t); ev != nil {
 			m.freeTraces = append(m.freeTraces, ev)
@@ -649,7 +685,14 @@ func (m *Machine) optimizeTrace(key uint64, tr *trace.Trace) {
 	}
 	m.optBusyUntil = m.clock + opt.LatencyCycles
 	before := len(tr.Uops)
+	if m.rec != nil {
+		m.rec.OptimizeStart(tr.TID)
+	}
 	res := m.optz.Optimize(tr)
+	if m.rec != nil {
+		m.rec.OptimizeEnd(tr.TID, res.UopsBefore, res.UopsAfter,
+			res.CritBefore, res.CritAfter)
+	}
 	m.tc.Insert(tr) // write-back (replaces in place)
 	m.optCount++
 	m.uopsBefore += uint64(res.UopsBefore)

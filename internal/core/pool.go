@@ -73,6 +73,12 @@ func (m *Machine) Reset() {
 
 	m.diagFetchStall, m.diagResolve = 0, 0
 	m.diagColdResident, m.diagColdAbsent = 0, 0
+
+	// Observability: recorders are per-run (the component Resets above have
+	// already detached the engine/cache/selector/optimizer probes).
+	m.rec = nil
+	m.obsBase = obsBaseline{}
+	m.obsNextIval = 0
 }
 
 // PoolStats counts pool traffic (exposed for the throughput benchmarks).

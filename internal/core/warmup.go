@@ -18,6 +18,11 @@ import (
 // instruction traces amortize compulsory effects that would otherwise
 // dominate shorter synthetic runs.
 func (m *Machine) ResetStats() {
+	if m.rec != nil {
+		// Close the trailing warmup interval while the pre-reset counters
+		// are still live, and stamp the measurement boundary.
+		m.obsMeasureStart()
+	}
 	m.counts = energy.Counts{}
 	m.countsHot = energy.Counts{}
 	m.cold.Stats = ooo.Stats{}
@@ -66,6 +71,10 @@ func (m *Machine) ResetStats() {
 		for _, tr := range m.tc.Resident() {
 			tr.Executions = 0
 		}
+	}
+	if m.rec != nil {
+		// Interval 0 of the measured window starts at the zeroed counters.
+		m.obsRebase()
 	}
 }
 
@@ -142,5 +151,8 @@ func (m *Machine) RunSourceWarm(src InstSource, prof workload.Profile, warm int)
 		m.sel.Recycle(&segs[i])
 	}
 	m.drain()
+	if m.rec != nil {
+		m.obsFinish()
+	}
 	return m.collect(prof)
 }

@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"parrot/internal/config"
 	"parrot/internal/core"
@@ -29,6 +31,13 @@ type Config struct {
 
 	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
 	Parallelism int
+
+	// Progress, when non-nil, receives completion updates from the matrix
+	// fan-out: cells done so far, the total cell count, wall time elapsed and
+	// an ETA extrapolated from the mean per-cell time. Called once per
+	// completed cell from the completing worker's goroutine, so callbacks must
+	// be cheap and concurrency-safe (the CLI uses a \r status line).
+	Progress func(done, total int, elapsed, eta time.Duration)
 }
 
 // Results holds the complete model × application result matrix as a dense
@@ -98,6 +107,13 @@ func Run(cfg Config) *Results {
 	}
 	close(jobs)
 
+	// Progress accounting: one atomic increment per cell; the ETA
+	// extrapolates the mean per-cell wall time over the remaining cells
+	// (cells are similar-sized, so the estimate converges quickly).
+	var done atomic.Int64
+	total := len(res.matrix)
+	start := time.Now()
+
 	var wg sync.WaitGroup
 	for w := 0; w < par; w++ {
 		wg.Add(1)
@@ -119,6 +135,15 @@ func Run(cfg Config) *Results {
 					m.Reset()
 				}
 				res.matrix[idx] = core.RunWarmOn(m, apps[idx%len(apps)], cfg.Insts)
+				if cfg.Progress != nil {
+					d := int(done.Add(1))
+					elapsed := time.Since(start)
+					var eta time.Duration
+					if d > 0 {
+						eta = time.Duration(int64(elapsed) / int64(d) * int64(total-d))
+					}
+					cfg.Progress(d, total, elapsed, eta)
+				}
 			}
 		}()
 	}

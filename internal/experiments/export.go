@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"parrot/internal/config"
+	"parrot/internal/core"
 )
 
 // RunSummary is the machine-readable record of one (model, application)
@@ -35,6 +36,32 @@ type RunSummary struct {
 	OptReuse      float64 `json:"optReuse"`
 }
 
+// Summarize converts one run result into its machine-readable record,
+// pricing leakage at the given P_MAX. It is the single-run building block
+// shared by the matrix export and the CLI -json outputs.
+func Summarize(res *core.Result, pmax float64) RunSummary {
+	return RunSummary{
+		Model:         string(res.Model),
+		App:           res.App,
+		Suite:         res.Suite.String(),
+		Insts:         res.Insts,
+		Cycles:        res.Cycles,
+		IPC:           res.IPC(),
+		DynEnergy:     res.DynEnergy,
+		TotalEnergy:   res.TotalEnergy(pmax),
+		CMPW:          res.CMPW(pmax),
+		Coverage:      res.Coverage(),
+		BranchMispct:  res.BranchStats.MispredictRate(),
+		TraceMispct:   res.TPredStats.MispredictRate(),
+		TraceAborts:   res.TraceAborts,
+		TraceBuilds:   res.TraceBuilds,
+		Optimizations: res.Optimizations,
+		UopReduction:  res.UopReduction(),
+		CritReduction: res.CritReduction(),
+		OptReuse:      res.OptimizedTraceUtilization(),
+	}
+}
+
 // Summaries flattens the result matrix into per-run records, sorted by
 // model then application for stable output.
 func (r *Results) Summaries() []RunSummary {
@@ -45,26 +72,7 @@ func (r *Results) Summaries() []RunSummary {
 			if res == nil {
 				continue
 			}
-			out = append(out, RunSummary{
-				Model:         string(id),
-				App:           p.Name,
-				Suite:         p.Suite.String(),
-				Insts:         res.Insts,
-				Cycles:        res.Cycles,
-				IPC:           res.IPC(),
-				DynEnergy:     res.DynEnergy,
-				TotalEnergy:   res.TotalEnergy(r.PMax),
-				CMPW:          res.CMPW(r.PMax),
-				Coverage:      res.Coverage(),
-				BranchMispct:  res.BranchStats.MispredictRate(),
-				TraceMispct:   res.TPredStats.MispredictRate(),
-				TraceAborts:   res.TraceAborts,
-				TraceBuilds:   res.TraceBuilds,
-				Optimizations: res.Optimizations,
-				UopReduction:  res.UopReduction(),
-				CritReduction: res.CritReduction(),
-				OptReuse:      res.OptimizedTraceUtilization(),
-			})
+			out = append(out, Summarize(res, r.PMax))
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {

@@ -1,0 +1,105 @@
+package metrics
+
+// Histogram is a fixed-bucket occupancy/length histogram. Bucket i counts
+// values v with Bounds[i-1] < v <= Bounds[i] (bucket 0 counts v <= Bounds[0]);
+// values above the last bound land in the overflow bucket. Adds are weighted
+// so cycle-accurate samplers can attribute fast-forwarded idle windows in one
+// call (AddN) instead of once per skipped cycle.
+//
+// The zero Histogram is not usable; construct with NewHistogram.
+type Histogram struct {
+	Bounds []int    // ascending, inclusive upper bounds
+	Counts []uint64 // len(Bounds)+1; last = overflow
+	N      uint64   // total weight
+	Sum    uint64   // weighted sum of values (for Mean)
+	MaxV   int      // largest value observed
+}
+
+// NewHistogram builds a histogram over ascending inclusive upper bounds.
+// NewHistogram(0, 8, 16) buckets values as [..0], (0..8], (8..16], (16..].
+func NewHistogram(bounds ...int) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("metrics: histogram bounds must be strictly ascending")
+		}
+	}
+	b := make([]int, len(bounds))
+	copy(b, bounds)
+	return &Histogram{Bounds: b, Counts: make([]uint64, len(bounds)+1)}
+}
+
+// LinearBuckets returns n+1 evenly spaced bounds 0, step, 2*step ... n*step —
+// the convenient shape for occupancy histograms (ROB/IQ fill levels).
+func LinearBuckets(step, n int) []int {
+	if step < 1 || n < 1 {
+		panic("metrics: LinearBuckets needs step >= 1 and n >= 1")
+	}
+	out := make([]int, n+1)
+	for i := range out {
+		out[i] = i * step
+	}
+	return out
+}
+
+// bucket returns the index for value v.
+func (h *Histogram) bucket(v int) int {
+	// Bucket lists are short (tens of bounds); a linear scan beats binary
+	// search at these sizes and keeps the sampler branch-predictable.
+	for i, b := range h.Bounds {
+		if v <= b {
+			return i
+		}
+	}
+	return len(h.Bounds)
+}
+
+// Add records one observation of value v.
+func (h *Histogram) Add(v int) { h.AddN(v, 1) }
+
+// AddN records w observations of value v (weighted add). Negative values
+// clamp to zero — occupancies are never negative, but clamping keeps a buggy
+// caller from corrupting the overflow bucket.
+func (h *Histogram) AddN(v int, w uint64) {
+	if w == 0 {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.Counts[h.bucket(v)] += w
+	h.N += w
+	h.Sum += uint64(v) * w
+	if v > h.MaxV {
+		h.MaxV = v
+	}
+}
+
+// Mean returns the weighted mean of observed values (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.N)
+}
+
+// Total returns the total recorded weight.
+func (h *Histogram) Total() uint64 { return h.N }
+
+// Max returns the largest value observed (0 when empty).
+func (h *Histogram) Max() int { return h.MaxV }
+
+// Fraction returns bucket i's share of the total weight (0 when empty).
+func (h *Histogram) Fraction(i int) float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.N)
+}
+
+// Reset zeroes all counts, keeping the bucket layout.
+func (h *Histogram) Reset() {
+	for i := range h.Counts {
+		h.Counts[i] = 0
+	}
+	h.N, h.Sum, h.MaxV = 0, 0, 0
+}

@@ -1,0 +1,128 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGeomeanN(t *testing.T) {
+	// Pin the skipped-count contract: zero and negative entries are skipped
+	// and reported, the mean covers only the positive entries.
+	g, skipped := GeomeanN([]float64{0, -3, 8, 2})
+	if skipped != 2 {
+		t.Errorf("skipped = %d, want 2", skipped)
+	}
+	if math.Abs(g-4) > 1e-12 {
+		t.Errorf("geomean = %v, want 4", g)
+	}
+
+	g, skipped = GeomeanN(nil)
+	if g != 0 || skipped != 0 {
+		t.Errorf("empty: got (%v, %d), want (0, 0)", g, skipped)
+	}
+
+	g, skipped = GeomeanN([]float64{0, 0})
+	if g != 0 || skipped != 2 {
+		t.Errorf("all-skipped: got (%v, %d), want (0, 2)", g, skipped)
+	}
+
+	// Geomean must agree with GeomeanN's mean.
+	vals := []float64{0.5, 3, 0, 7}
+	g2, _ := GeomeanN(vals)
+	if g := Geomean(vals); g != g2 {
+		t.Errorf("Geomean = %v, GeomeanN mean = %v", g, g2)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(4, 8, 12)
+	// Inclusive upper bounds: [..4] (4..8] (8..12] (12..] overflow.
+	if len(h.Counts) != 4 {
+		t.Fatalf("counts len = %d, want 4", len(h.Counts))
+	}
+	for v, want := range map[int]int{0: 0, 4: 0, 5: 1, 8: 1, 9: 2, 12: 2, 13: 3, 100: 3} {
+		h2 := NewHistogram(4, 8, 12)
+		h2.Add(v)
+		for i := range h2.Counts {
+			expect := uint64(0)
+			if i == want {
+				expect = 1
+			}
+			if h2.Counts[i] != expect {
+				t.Errorf("Add(%d): bucket %d = %d, want %d", v, i, h2.Counts[i], expect)
+			}
+		}
+	}
+}
+
+func TestHistogramWeightedAndStats(t *testing.T) {
+	h := NewHistogram(LinearBuckets(4, 4)...) // bounds 0,4,8,12,16
+	h.AddN(2, 3)                              // 3 samples of value 2 -> bucket 1
+	h.AddN(10, 7)                             // 7 samples of value 10 -> bucket 3
+	h.Add(20)                                 // overflow bucket 5
+	if h.Total() != 11 {
+		t.Errorf("total = %d, want 11", h.Total())
+	}
+	wantMean := float64(3*2+7*10+20) / 11
+	if math.Abs(h.Mean()-wantMean) > 1e-12 {
+		t.Errorf("mean = %v, want %v", h.Mean(), wantMean)
+	}
+	if h.Max() != 20 {
+		t.Errorf("max = %d, want 20", h.Max())
+	}
+	if f := h.Fraction(1); math.Abs(f-3.0/11) > 1e-12 {
+		t.Errorf("fraction(1) = %v", f)
+	}
+	if h.Counts[5] != 1 {
+		t.Errorf("overflow bucket = %d, want 1", h.Counts[5])
+	}
+	// Negative values clamp into the first bucket.
+	h.Add(-5)
+	if h.Counts[0] != 1 {
+		t.Errorf("negative add: bucket 0 = %d, want 1", h.Counts[0])
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(LinearBuckets(8, 16)...)
+	if h.Mean() != 0 || h.Total() != 0 || h.Max() != 0 {
+		t.Errorf("empty histogram stats: mean=%v total=%d max=%d", h.Mean(), h.Total(), h.Max())
+	}
+	if f := h.Fraction(3); f != 0 {
+		t.Errorf("empty fraction = %v", f)
+	}
+	h.Add(5)
+	h.Reset()
+	if h.Total() != 0 || h.Max() != 0 {
+		t.Error("reset did not clear the histogram")
+	}
+}
+
+func TestLinearBucketsEdges(t *testing.T) {
+	b := LinearBuckets(16, 16)
+	if len(b) != 17 {
+		t.Fatalf("len = %d, want 17", len(b))
+	}
+	if b[0] != 0 || b[16] != 256 {
+		t.Errorf("bounds = %v", b)
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("bounds not strictly ascending at %d: %v", i, b)
+		}
+	}
+	// Degenerate step still yields valid ascending bounds.
+	b = LinearBuckets(1, 3)
+	if b[0] != 0 || b[1] != 1 || b[2] != 2 || b[3] != 3 {
+		t.Errorf("unit-step bounds = %v", b)
+	}
+}
+
+func TestNewHistogramRejectsBadBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-ascending bounds must panic")
+		}
+	}()
+	NewHistogram(4, 4, 8)
+}

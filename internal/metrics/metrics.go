@@ -15,20 +15,33 @@ import (
 )
 
 // Geomean returns the geometric mean of positive values; zero or negative
-// entries are skipped (they would otherwise poison the product).
+// entries are skipped (they would otherwise poison the product). Callers
+// that must distinguish "clean mean" from "mean over a filtered subset"
+// should use GeomeanN, which also reports how many entries were dropped.
 func Geomean(vals []float64) float64 {
+	g, _ := GeomeanN(vals)
+	return g
+}
+
+// GeomeanN returns the geometric mean of the positive entries of vals and
+// the number of zero/negative entries that were skipped. A non-zero skipped
+// count means the returned mean describes only a subset of the input, so
+// figure code can warn instead of silently shifting the mean.
+func GeomeanN(vals []float64) (mean float64, skipped int) {
 	sum := 0.0
 	n := 0
 	for _, v := range vals {
 		if v > 0 {
 			sum += math.Log(v)
 			n++
+		} else {
+			skipped++
 		}
 	}
 	if n == 0 {
-		return 0
+		return 0, skipped
 	}
-	return math.Exp(sum / float64(n))
+	return math.Exp(sum / float64(n)), skipped
 }
 
 // Mean returns the arithmetic mean.

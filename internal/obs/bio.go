@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"sort"
+
+	"parrot/internal/trace"
+)
+
+// TraceBio is the biography of one trace population member: everything that
+// happened to the TID over the run — construction, promotions, optimizer
+// impact, execution counts, assert flushes and trace-cache residency. The
+// per-trace decomposition is what makes trace-reuse results explainable
+// (which trace earned its optimization, which thrashed, which aborted).
+type TraceBio struct {
+	Key     uint64 `json:"key"`
+	StartPC uint64 `json:"startPC"`
+	NDirs   int    `json:"nDirs"`
+
+	NumInsts int `json:"numInsts"`
+	Uops     int `json:"uops"` // current (possibly optimized) uop count
+
+	BuiltAt uint64 `json:"builtAt"` // cycle of the first hot promotion
+
+	HotPromotions   uint64 `json:"hotPromotions"`
+	BlazePromotions uint64 `json:"blazePromotions"`
+
+	Inserts    uint64 `json:"inserts"`
+	Writebacks uint64 `json:"writebacks"`
+	Evictions  uint64 `json:"evictions"`
+	Hits       uint64 `json:"hits"`
+
+	Executions     uint64 `json:"executions"`     // hot (trace-cache) executions
+	ColdExecutions uint64 `json:"coldExecutions"` // same segment run cold
+	HotInsts       uint64 `json:"hotInsts"`       // instructions committed via this trace
+	Aborts         uint64 `json:"aborts"`         // assert flushes as a mispredicted trace
+
+	Optimized     bool   `json:"optimized"`
+	Optimizations uint64 `json:"optimizations"`
+	UopsBefore    int    `json:"uopsBefore,omitempty"`
+	UopsAfter     int    `json:"uopsAfter,omitempty"`
+	CritBefore    int    `json:"critBefore,omitempty"`
+	CritAfter     int    `json:"critAfter,omitempty"`
+
+	// ResidentCycles sums the trace-cache residency windows (insert..evict,
+	// with a still-resident tail closed at Finalize).
+	ResidentCycles uint64 `json:"residentCycles"`
+
+	lastInsert uint64
+	resident   bool
+}
+
+// UopSavings returns the optimizer's per-execution uop saving times the hot
+// execution count — the total dispatch work the optimizer eliminated for
+// this trace.
+func (b *TraceBio) UopSavings() uint64 {
+	if !b.Optimized || b.UopsBefore <= b.UopsAfter {
+		return 0
+	}
+	return uint64(b.UopsBefore-b.UopsAfter) * b.Executions
+}
+
+// bio returns (creating on first touch) the biography for a TID.
+func (r *Recorder) bio(tid trace.TID) *TraceBio {
+	key := tid.Key()
+	b := r.bios[key]
+	if b == nil {
+		b = &TraceBio{Key: key, StartPC: tid.Start, NDirs: int(tid.NDirs)}
+		r.bios[key] = b
+		r.bioKeys = append(r.bioKeys, key)
+	}
+	return b
+}
+
+// BioCount returns the number of distinct TIDs observed.
+func (r *Recorder) BioCount() int { return len(r.bioKeys) }
+
+// Biography returns the biography of a TID key, or nil.
+func (r *Recorder) Biography(key uint64) *TraceBio { return r.bios[key] }
+
+// Biographies returns all trace biographies, most-executed first (ties
+// broken by start PC then key, so export order is deterministic).
+func (r *Recorder) Biographies() []*TraceBio {
+	out := make([]*TraceBio, 0, len(r.bioKeys))
+	for _, k := range r.bioKeys {
+		out = append(out, r.bios[k])
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Executions != out[j].Executions {
+			return out[i].Executions > out[j].Executions
+		}
+		if out[i].StartPC != out[j].StartPC {
+			return out[i].StartPC < out[j].StartPC
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}

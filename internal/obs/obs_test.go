@@ -1,0 +1,428 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"parrot/internal/trace"
+)
+
+func TestBusEmitAndRoundTrip(t *testing.T) {
+	b := newBus(1 << 20)
+	const n = 3*busChunkSize + 17 // force several chunks
+	for i := 0; i < n; i++ {
+		b.Emit(KSegment, uint64(i), uint64(i*2), uint64(i*3), uint8(i%2))
+	}
+	if b.Len() != n {
+		t.Fatalf("len = %d, want %d", b.Len(), n)
+	}
+	i := 0
+	b.Each(func(e *Event) {
+		if e.Cycle != uint64(i) || e.A != uint64(i*2) || e.B != uint64(i*3) ||
+			e.Kind != KSegment || e.Lane != uint8(i%2) {
+			t.Fatalf("event %d round-trip mismatch: %+v", i, *e)
+		}
+		i++
+	})
+	if i != n {
+		t.Fatalf("Each visited %d, want %d", i, n)
+	}
+	if b.CountKind(KSegment) != n || b.CountKind(KTCHit) != 0 {
+		t.Error("CountKind mismatch")
+	}
+}
+
+func TestBusLimit(t *testing.T) {
+	b := newBus(10)
+	for i := 0; i < 25; i++ {
+		b.Emit(KTCHit, 0, 0, 0, 0)
+	}
+	if b.Len() != 10 {
+		t.Errorf("len = %d, want 10", b.Len())
+	}
+	if b.Dropped != 15 {
+		t.Errorf("dropped = %d, want 15", b.Dropped)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		if s := k.String(); s == "" || s == "kind?" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+}
+
+func TestPackPair(t *testing.T) {
+	hi, lo := UnpackPair(packPair(64, 23))
+	if hi != 64 || lo != 23 {
+		t.Errorf("round trip = (%d, %d)", hi, lo)
+	}
+}
+
+func TestPipeProbeLifecycle(t *testing.T) {
+	p := newPipeProbe(0, 1000)
+	// Engines hand out sequence numbers from a counter starting at 1.
+	p.OnDispatch(1, 3, 10, true, false)
+	p.OnDispatch(2, 5, 10, false, true)
+	p.OnIssue(1, 12)
+	p.OnComplete(1, 15)
+	p.OnCommit(1, 16)
+	p.OnIssue(2, 13)
+	// Events for unrecorded seqs must be ignored, not crash.
+	p.OnIssue(999, 50)
+	p.OnCommit(0, 50)
+
+	if p.Len() != 2 {
+		t.Fatalf("len = %d", p.Len())
+	}
+	var recs []UopRec
+	p.Each(func(u *UopRec) { recs = append(recs, *u) })
+	r := recs[0]
+	if r.Seq != 1 || r.Class != 3 || !r.LastUop || r.TraceEnd ||
+		r.Dispatch != 10 || r.Issue != 12 || r.Complete != 15 || r.Commit != 16 {
+		t.Errorf("rec 0 = %+v", r)
+	}
+	if recs[1].Commit != 0 {
+		t.Errorf("rec 1 must have truncated lifecycle, got %+v", recs[1])
+	}
+}
+
+func TestPipeProbeOverflow(t *testing.T) {
+	p := newPipeProbe(1, 4)
+	for i := 1; i <= 10; i++ {
+		p.OnDispatch(uint64(i), 0, uint64(i), false, false)
+	}
+	if p.Len() != 4 || p.Overflow != 6 {
+		t.Errorf("len = %d overflow = %d", p.Len(), p.Overflow)
+	}
+	// Stage events for overflowed seqs are dropped by the bounds check.
+	p.OnCommit(9, 99)
+	found := false
+	p.Each(func(u *UopRec) {
+		if u.Commit == 99 {
+			found = true
+		}
+	})
+	if found {
+		t.Error("overflowed seq must not be writable")
+	}
+}
+
+func TestSeriesCloseIntervalAndSkip(t *testing.T) {
+	s := newSeries(1000)
+	s.SetupLane(0, 256, 96)
+	s.Sample(5, false, 10, 4)
+	s.Sample(20, true, 0, 0) // fast-forwarded idle window
+	s.Sample(5, false, 30, 8)
+
+	s.CloseInterval(Interval{StartCycle: 0, EndCycle: 30, Insts: 60})
+	if len(s.Intervals) != 1 {
+		t.Fatal("no interval closed")
+	}
+	iv := s.Intervals[0]
+	if iv.Cycles != 30 || iv.SkippedCycles != 20 {
+		t.Errorf("cycles=%d skipped=%d", iv.Cycles, iv.SkippedCycles)
+	}
+	if iv.IPC != 2 {
+		t.Errorf("ipc = %v", iv.IPC)
+	}
+	wantRob := float64(5*10+20*0+5*30) / 30
+	if iv.ROBOcc[0] != wantRob {
+		t.Errorf("rob occ = %v, want %v", iv.ROBOcc[0], wantRob)
+	}
+
+	// Accumulators reset: the next interval starts clean.
+	s.Sample(10, false, 2, 2)
+	s.CloseInterval(Interval{StartCycle: 30, EndCycle: 40, Insts: 10})
+	iv = s.Intervals[1]
+	if iv.SkippedCycles != 0 || iv.ROBOcc[0] != 2 {
+		t.Errorf("second interval: %+v", iv)
+	}
+
+	cyc, skip := s.TotalCycles()
+	if cyc != 40 || skip != 20 {
+		t.Errorf("totals = (%d, %d)", cyc, skip)
+	}
+}
+
+func testRecorder() *Recorder {
+	r := NewRecorder(Options{IntervalInsts: 100, MaxPipeUops: 100, MaxBusEvents: 1000})
+	clock := uint64(42)
+	r.Bind(&clock)
+	return r
+}
+
+func tid(pc uint64, dirs ...bool) trace.TID {
+	t := trace.TID{Start: pc}
+	for _, d := range dirs {
+		t = t.WithDir(d)
+	}
+	return t
+}
+
+func TestRecorderBiography(t *testing.T) {
+	r := testRecorder()
+	a := tid(0x100, true)
+	b := tid(0x200)
+
+	r.Segment(a, 10, 24, false)
+	r.HotPromote(a)
+	r.TCInsert(a.Key(), 24, false)
+	r.Segment(a, 10, 24, true)
+	r.Segment(a, 10, 24, true)
+	r.TCLookup(a.Key(), true)
+	r.OptimizeStart(a)
+	r.Pass("dce", 24, 20)
+	r.OptimizeEnd(a, 24, 18, 9, 6)
+	r.TCInsert(a.Key(), 18, true) // optimizer write-back
+	r.TraceAbort(b)
+	r.TCEvict(a.Key())
+	r.Finalize()
+
+	bio := r.Biography(a.Key())
+	if bio == nil {
+		t.Fatal("no biography for a")
+	}
+	if bio.NumInsts != 10 || bio.Executions != 2 || bio.ColdExecutions != 1 ||
+		bio.HotInsts != 20 || bio.HotPromotions != 1 || bio.Inserts != 1 ||
+		bio.Writebacks != 1 || bio.Evictions != 1 || bio.Hits != 1 {
+		t.Errorf("bio = %+v", *bio)
+	}
+	if !bio.Optimized || bio.UopsBefore != 24 || bio.UopsAfter != 18 {
+		t.Errorf("optimizer fields = %+v", *bio)
+	}
+	if bio.Uops != 18 {
+		t.Errorf("uops after write-back = %d, want 18", bio.Uops)
+	}
+	if bio.ResidentCycles != 0 {
+		// Insert and evict happen at the same bound clock (42).
+		t.Errorf("residency = %d", bio.ResidentCycles)
+	}
+	if got := r.Biography(b.Key()); got == nil || got.Aborts != 1 {
+		t.Errorf("abort bio = %+v", got)
+	}
+	if bio.UopSavings() != uint64(24-18)*2 {
+		t.Errorf("savings = %d", bio.UopSavings())
+	}
+
+	// Export order: most-executed first.
+	bios := r.Biographies()
+	if len(bios) != 2 || bios[0].Key != a.Key() {
+		t.Errorf("biography order wrong: %+v", bios)
+	}
+	if names := r.PassNames(); len(names) != 1 || names[0] != "dce" {
+		t.Errorf("pass names = %v", names)
+	}
+}
+
+func TestRecorderResidencyWindows(t *testing.T) {
+	r := NewRecorder(Options{})
+	clock := uint64(0)
+	r.Bind(&clock)
+	a := tid(0x500)
+	r.Segment(a, 4, 8, false) // creates the bio
+	clock = 100
+	r.TCInsert(a.Key(), 8, false)
+	clock = 250
+	r.TCEvict(a.Key())
+	clock = 300
+	r.TCInsert(a.Key(), 8, false)
+	clock = 400
+	r.Finalize() // closes the open residency window
+
+	bio := r.Biography(a.Key())
+	if bio.ResidentCycles != 150+100 {
+		t.Errorf("residency = %d, want 250", bio.ResidentCycles)
+	}
+}
+
+func TestSeriesJSONAndCSV(t *testing.T) {
+	r := testRecorder()
+	r.Series.SetupLane(0, 256, 96)
+	r.Series.Sample(10, false, 8, 3)
+	r.Series.CloseInterval(Interval{StartCycle: 0, EndCycle: 10, Insts: 25, Warmup: true})
+	r.Series.Sample(10, true, 0, 0)
+	r.Series.CloseInterval(Interval{StartCycle: 10, EndCycle: 20, Insts: 30})
+
+	var jbuf bytes.Buffer
+	if err := r.WriteSeriesJSON(&jbuf); err != nil {
+		t.Fatal(err)
+	}
+	var doc SeriesDoc
+	if err := json.Unmarshal(jbuf.Bytes(), &doc); err != nil {
+		t.Fatalf("series JSON does not parse: %v", err)
+	}
+	if doc.IntervalInsts != 100 || len(doc.Intervals) != 2 {
+		t.Errorf("doc = %+v", doc)
+	}
+	if !doc.Intervals[0].Warmup || doc.Intervals[1].Warmup {
+		t.Error("warmup flags wrong")
+	}
+	if doc.Intervals[1].SkippedCycles != 10 {
+		t.Errorf("skipped = %d", doc.Intervals[1].SkippedCycles)
+	}
+	if doc.ROBHist[0] == nil || doc.ROBHist[0].Total != 20 {
+		t.Errorf("rob hist = %+v", doc.ROBHist[0])
+	}
+	if doc.ROBHist[1] != nil {
+		t.Error("lane 1 must be nil for unified models")
+	}
+	if len(doc.Components) == 0 {
+		t.Error("no component names")
+	}
+
+	var cbuf bytes.Buffer
+	if err := r.WriteSeriesCSV(&cbuf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&cbuf).ReadAll()
+	if err != nil {
+		t.Fatalf("CSV does not parse: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("csv rows = %d, want header + 2", len(rows))
+	}
+	wantCols := 19 + len(doc.Components)
+	for i, row := range rows {
+		if len(row) != wantCols {
+			t.Errorf("row %d has %d cols, want %d", i, len(row), wantCols)
+		}
+	}
+	if rows[0][0] != "index" || rows[1][0] != "0" || rows[2][0] != "1" {
+		t.Errorf("csv index column wrong: %v %v %v", rows[0][0], rows[1][0], rows[2][0])
+	}
+}
+
+// fillPipe records two complete uop lifecycles and one truncated one.
+func fillPipe(p *PipeProbe) {
+	p.OnDispatch(1, 1, 5, true, false)
+	p.OnIssue(1, 6)
+	p.OnComplete(1, 9)
+	p.OnCommit(1, 10)
+	p.OnDispatch(2, 6, 6, true, true)
+	p.OnIssue(2, 7)
+	p.OnComplete(2, 12)
+	p.OnCommit(2, 13)
+	p.OnDispatch(3, 1, 7, false, false) // never commits
+}
+
+func TestWriteKanata(t *testing.T) {
+	r := testRecorder()
+	fillPipe(r.Pipe(0))
+	var buf bytes.Buffer
+	if err := r.WriteKanata(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if lines[0] != "Kanata\t0004" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "C=\t5") {
+		t.Fatalf("first cycle line = %q", lines[1])
+	}
+	var inits, retires, cAdvances int
+	for _, l := range lines[1:] {
+		f := strings.Split(l, "\t")
+		switch f[0] {
+		case "I":
+			inits++
+		case "R":
+			retires++
+		case "C":
+			cAdvances++
+		case "C=", "S", "E", "L":
+		default:
+			t.Errorf("unknown kanata command %q in %q", f[0], l)
+		}
+	}
+	// Only the two fully retired uops are emitted.
+	if inits != 2 || retires != 2 {
+		t.Errorf("inits = %d retires = %d, want 2 each", inits, retires)
+	}
+	if cAdvances == 0 {
+		t.Error("no cycle advances")
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	r := testRecorder()
+	fillPipe(r.Pipe(0))
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Cat  string `json:"cat"`
+			Ph   string `json:"ph"`
+			Ts   uint64 `json:"ts"`
+			Dur  uint64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace does not parse: %v", err)
+	}
+	// Three spans per fully retired uop.
+	if len(doc.TraceEvents) != 6 {
+		t.Fatalf("events = %d, want 6", len(doc.TraceEvents))
+	}
+	cats := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" {
+			t.Errorf("phase = %q", e.Ph)
+		}
+		cats[e.Cat]++
+	}
+	if cats["wait"] != 2 || cats["exec"] != 2 || cats["retire"] != 2 {
+		t.Errorf("cats = %v", cats)
+	}
+}
+
+func TestWriteBiographiesJSON(t *testing.T) {
+	r := testRecorder()
+	for i := 0; i < 5; i++ {
+		tr := tid(uint64(0x1000 + i*64))
+		r.Segment(tr, 8, 16, i%2 == 0)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteBiographies(&buf, 3); err != nil {
+		t.Fatal(err)
+	}
+	var doc BioDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("biographies do not parse: %v", err)
+	}
+	if doc.Count != 5 || len(doc.Traces) != 3 {
+		t.Errorf("count = %d, traces = %d", doc.Count, len(doc.Traces))
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.IntervalInsts != 1000 || o.MaxPipeUops != 50_000 || o.MaxBusEvents != 1<<20 {
+		t.Errorf("defaults = %+v", o)
+	}
+	o = Options{IntervalInsts: 7, MaxPipeUops: 8, MaxBusEvents: 9}.withDefaults()
+	if o.IntervalInsts != 7 || o.MaxPipeUops != 8 || o.MaxBusEvents != 9 {
+		t.Errorf("explicit options overridden: %+v", o)
+	}
+}
+
+func TestOccupancyBuckets(t *testing.T) {
+	b := OccupancyBuckets(256)
+	if len(b) != 17 || b[16] != 256 {
+		t.Errorf("buckets(256) = %v", b)
+	}
+	// Tiny capacities degrade to unit steps, still strictly ascending.
+	b = OccupancyBuckets(4)
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("buckets(4) not ascending: %v", b)
+		}
+	}
+}

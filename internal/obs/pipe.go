@@ -1,0 +1,100 @@
+package obs
+
+// UopRec is one uop's pipeline lifecycle: the cycles at which it passed each
+// stage of the execution engine. Cycles are engine-local (each lane has its
+// own clock, advanced in lockstep with the machine clock). A zero stage
+// cycle means the uop had not reached that stage when recording stopped.
+type UopRec struct {
+	Seq      uint64 // engine sequence number (dispatch order)
+	Class    uint8  // isa.ExecClass
+	LastUop  bool   // instruction-final uop
+	TraceEnd bool   // atomic-trace-final uop
+	Dispatch uint64
+	Issue    uint64
+	Complete uint64
+	Commit   uint64
+}
+
+// pipeChunkSize is the slab granularity of lifecycle storage.
+const pipeChunkSize = 1 << 10
+
+// PipeProbe captures per-uop lifecycle records for one execution engine.
+// Engine sequence numbers are monotonically increasing, so records are
+// stored in dispatch order in chunked slabs and located by offset from the
+// first recorded sequence — no map, no per-event allocation. Recording is
+// capped: uops dispatched past the cap are counted, not stored, and their
+// later stage events are dropped by the same bounds check.
+type PipeProbe struct {
+	Lane     uint8
+	chunks   [][]UopRec
+	first    uint64 // seq of record 0; 0 = nothing recorded yet
+	n        int
+	limit    int
+	Overflow uint64 // dispatches past the cap
+}
+
+func newPipeProbe(lane uint8, limit int) *PipeProbe {
+	return &PipeProbe{Lane: lane, limit: limit}
+}
+
+// Len returns the number of stored lifecycle records.
+func (p *PipeProbe) Len() int { return p.n }
+
+// rec returns the record for seq, or nil when it is outside the recorded
+// window.
+func (p *PipeProbe) rec(seq uint64) *UopRec {
+	if p.first == 0 || seq < p.first {
+		return nil
+	}
+	off := int(seq - p.first)
+	if off >= p.n {
+		return nil
+	}
+	return &p.chunks[off/pipeChunkSize][off%pipeChunkSize]
+}
+
+// OnDispatch records a uop entering the engine. Sequence numbers must be
+// contiguous and ascending (they are: engines hand them out from a counter).
+func (p *PipeProbe) OnDispatch(seq uint64, class uint8, cycle uint64, lastUop, traceEnd bool) {
+	if p.n >= p.limit {
+		p.Overflow++
+		return
+	}
+	if p.first == 0 {
+		p.first = seq
+	}
+	if p.n%pipeChunkSize == 0 {
+		p.chunks = append(p.chunks, make([]UopRec, pipeChunkSize))
+	}
+	r := &p.chunks[p.n/pipeChunkSize][p.n%pipeChunkSize]
+	*r = UopRec{Seq: seq, Class: class, LastUop: lastUop, TraceEnd: traceEnd, Dispatch: cycle}
+	p.n++
+}
+
+// OnIssue records a uop winning selection and starting execution.
+func (p *PipeProbe) OnIssue(seq, cycle uint64) {
+	if r := p.rec(seq); r != nil {
+		r.Issue = cycle
+	}
+}
+
+// OnComplete records a uop's writeback.
+func (p *PipeProbe) OnComplete(seq, cycle uint64) {
+	if r := p.rec(seq); r != nil {
+		r.Complete = cycle
+	}
+}
+
+// OnCommit records a uop's in-order retirement.
+func (p *PipeProbe) OnCommit(seq, cycle uint64) {
+	if r := p.rec(seq); r != nil {
+		r.Commit = cycle
+	}
+}
+
+// Each calls f for every stored record in dispatch order.
+func (p *PipeProbe) Each(f func(*UopRec)) {
+	for i := 0; i < p.n; i++ {
+		f(&p.chunks[i/pipeChunkSize][i%pipeChunkSize])
+	}
+}

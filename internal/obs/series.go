@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"parrot/internal/energy"
+	"parrot/internal/metrics"
+)
+
+// Interval is one phase sample of the time series: everything that happened
+// between two boundaries K committed instructions apart. Cycle counts are
+// machine cycles, so intervals tile the run exactly — including idle windows
+// the kernel fast-forwarded with Engine.Skip, which are attributed to the
+// interval they occurred in (SkippedCycles) instead of vanishing and
+// creating artificial IPC spikes at sample boundaries.
+type Interval struct {
+	Index      int    `json:"index"`
+	StartCycle uint64 `json:"startCycle"`
+	EndCycle   uint64 `json:"endCycle"`
+	Cycles     uint64 `json:"cycles"`
+	// SkippedCycles counts the fast-forwarded idle cycles inside the window
+	// (always <= Cycles; they are part of Cycles, not in addition to it).
+	SkippedCycles uint64 `json:"skippedCycles"`
+
+	Insts     uint64  `json:"insts"`
+	HotInsts  uint64  `json:"hotInsts"`
+	ColdInsts uint64  `json:"coldInsts"`
+	IPC       float64 `json:"ipc"`
+	Coverage  float64 `json:"hotCoverage"`
+
+	TCLookups uint64  `json:"tcLookups"`
+	TCHits    uint64  `json:"tcHits"`
+	TCHitRate float64 `json:"tcHitRate"`
+
+	// Mean ROB/IQ occupancy per lane over the interval's cycles
+	// (lane 0 = cold engine, lane 1 = hot engine of split models).
+	ROBOcc [2]float64 `json:"robOccMean"`
+	IQOcc  [2]float64 `json:"iqOccMean"`
+
+	// Dynamic energy spent in the interval, total and by component
+	// (component names: EnergyComponentNames).
+	DynEnergy float64                       `json:"dynEnergy"`
+	Energy    [energy.NumComponents]float64 `json:"energyByComponent"`
+
+	// Warmup marks intervals that ended before the measurement window
+	// started (statistics reset).
+	Warmup bool `json:"warmup,omitempty"`
+}
+
+// laneOcc accumulates occupancy statistics for one engine lane: run-level
+// histograms plus interval-scoped sums for the per-interval means.
+type laneOcc struct {
+	ROBHist *metrics.Histogram
+	IQHist  *metrics.Histogram
+
+	robSum, iqSum, samples uint64 // current interval
+}
+
+// Series is the phase-sampled time-series accumulator: per-cycle occupancy
+// sampling (weighted, so skipped idle windows cost one call, not one call
+// per cycle) and the closed interval list. The owning machine drives it —
+// obs knows nothing about machine internals; the machine passes deltas of
+// its own counters at each boundary.
+type Series struct {
+	K         int // committed instructions per interval
+	Intervals []Interval
+
+	lanes   [2]laneOcc
+	skipped uint64 // fast-forwarded cycles in the current interval
+}
+
+func newSeries(k int) *Series { return &Series{K: k} }
+
+// SetupLane sizes a lane's occupancy histograms from the engine capacities.
+func (s *Series) SetupLane(lane, robCap, iqCap int) {
+	s.lanes[lane].ROBHist = metrics.NewHistogram(OccupancyBuckets(robCap)...)
+	s.lanes[lane].IQHist = metrics.NewHistogram(OccupancyBuckets(iqCap)...)
+}
+
+// Lane returns a lane's run-level occupancy histograms (nil before
+// SetupLane).
+func (s *Series) Lane(lane int) (rob, iq *metrics.Histogram) {
+	return s.lanes[lane].ROBHist, s.lanes[lane].IQHist
+}
+
+// Sample records w cycles of lane-0 occupancy; idle marks the cycles as
+// fast-forwarded (Engine.Skip windows). The occupancy of a skipped window is
+// constant by construction — that is what made it skippable — so one
+// weighted add attributes all w cycles exactly.
+func (s *Series) Sample(w uint64, idle bool, rob, iq int) {
+	s.lanes[0].add(w, rob, iq)
+	if idle {
+		s.skipped += w
+	}
+}
+
+// SampleHot records w cycles of lane-1 occupancy (split models only).
+func (s *Series) SampleHot(w uint64, rob, iq int) {
+	s.lanes[1].add(w, rob, iq)
+}
+
+func (l *laneOcc) add(w uint64, rob, iq int) {
+	if l.ROBHist == nil {
+		return
+	}
+	l.ROBHist.AddN(rob, w)
+	l.IQHist.AddN(iq, w)
+	l.robSum += uint64(rob) * w
+	l.iqSum += uint64(iq) * w
+	l.samples += w
+}
+
+// CloseInterval finalizes the current interval. The caller fills the
+// counter deltas (cycle bounds, instructions, trace-cache traffic, energy);
+// the series derives the ratios, attributes the skipped-cycle count and the
+// occupancy means, and resets the interval-scoped accumulators.
+func (s *Series) CloseInterval(iv Interval) {
+	iv.Index = len(s.Intervals)
+	iv.Cycles = iv.EndCycle - iv.StartCycle
+	iv.SkippedCycles = s.skipped
+	if iv.Cycles > 0 {
+		iv.IPC = float64(iv.Insts) / float64(iv.Cycles)
+	}
+	if t := iv.HotInsts + iv.ColdInsts; t > 0 {
+		iv.Coverage = float64(iv.HotInsts) / float64(t)
+	}
+	if iv.TCLookups > 0 {
+		iv.TCHitRate = float64(iv.TCHits) / float64(iv.TCLookups)
+	}
+	for i := range s.lanes {
+		l := &s.lanes[i]
+		if l.samples > 0 {
+			iv.ROBOcc[i] = float64(l.robSum) / float64(l.samples)
+			iv.IQOcc[i] = float64(l.iqSum) / float64(l.samples)
+		}
+		l.robSum, l.iqSum, l.samples = 0, 0, 0
+	}
+	s.skipped = 0
+	s.Intervals = append(s.Intervals, iv)
+}
+
+// TotalCycles sums the cycle spans of all closed intervals — with exact
+// skip attribution this equals the clock distance from attach to the last
+// boundary (the invariant TestSkipAttribution pins).
+func (s *Series) TotalCycles() (cycles, skipped uint64) {
+	for i := range s.Intervals {
+		cycles += s.Intervals[i].Cycles
+		skipped += s.Intervals[i].SkippedCycles
+	}
+	return
+}

@@ -25,6 +25,7 @@ import (
 	"math/bits"
 
 	"parrot/internal/isa"
+	"parrot/internal/obs"
 )
 
 // Config sizes one execution engine. The reference narrow machine (model N)
@@ -218,6 +219,13 @@ type Engine struct {
 	// mem supplies data-access latency beyond the L1 hit.
 	mem MemModel
 
+	// probe, when non-nil, receives per-uop lifecycle events (dispatch,
+	// issue, writeback, commit). Every instrumentation point is a single
+	// nil-check branch; with no probe attached the engine is bit- and
+	// cost-identical to an uninstrumented build. Probes observe only — they
+	// can never change a scheduling decision.
+	probe *obs.PipeProbe
+
 	now uint64
 
 	Stats Stats
@@ -318,7 +326,11 @@ func (e *Engine) Reset() {
 	}
 	e.now = 0
 	e.Stats = Stats{}
+	e.probe = nil // observers are per-run; a reset engine starts unobserved
 }
+
+// SetProbe attaches (or, with nil, detaches) a pipeline lifecycle probe.
+func (e *Engine) SetProbe(p *obs.PipeProbe) { e.probe = p }
 
 // divUnitFree returns a free non-pipelined unit index for cls, or -1.
 func (e *Engine) divUnitFree(cls isa.ExecClass) int {
@@ -402,6 +414,9 @@ func (e *Engine) complete(h Handle) {
 	en.done = true
 	e.Stats.Wakeups++
 	e.pendingCnt--
+	if e.probe != nil {
+		e.probe.OnComplete(uint64(h), e.now)
+	}
 	if en.isStore {
 		e.storePend--
 		e.storeAddrCnt[storeAddrHash(en.memAddr)]--
@@ -482,6 +497,11 @@ func (e *Engine) Dispatch(u *isa.Uop, memAddr uint64, lastUop, traceEnd bool) Ha
 	}
 	e.Stats.UopsDispatched++
 	e.Stats.ROBWrites++
+	if e.probe != nil {
+		// Dispatch happens before this machine cycle's Cycle() call advances
+		// now, so the uop enters at now+1 on the engine timeline.
+		e.probe.OnDispatch(uint64(h), uint8(en.class), e.now+1, lastUop, traceEnd)
+	}
 	return h
 }
 
@@ -576,6 +596,9 @@ func (e *Engine) Cycle() (committedUops, committedInsts int, traceEnds int) {
 		if en.traceEnd {
 			traceEnds++
 		}
+		if e.probe != nil {
+			e.probe.OnCommit(uint64(e.head), e.now)
+		}
 		e.head++
 		committedUops++
 	}
@@ -651,6 +674,9 @@ func (e *Engine) Cycle() (committedUops, committedInsts int, traceEnds int) {
 					}
 					en.doneAt = e.now + uint64(lat)
 					e.schedule(bestH, uint64(lat))
+					if e.probe != nil {
+						e.probe.OnIssue(uint64(bestH), e.now)
+					}
 					p++
 					e.readyCnt--
 					e.iqCnt--
@@ -717,6 +743,9 @@ func (e *Engine) Cycle() (committedUops, committedInsts int, traceEnds int) {
 			}
 			en.doneAt = e.now + uint64(lat)
 			e.schedule(bestH, uint64(lat))
+			if e.probe != nil {
+				e.probe.OnIssue(uint64(bestH), e.now)
+			}
 			qpos[cls]++
 			e.readyCnt--
 			if p := qpos[cls]; p == len(e.readyQ[cls]) {

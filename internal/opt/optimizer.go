@@ -60,7 +60,21 @@ type Optimizer struct {
 	// Runs counts optimizer invocations; Totals accumulates pass work.
 	Runs   uint64
 	Totals PassStats
+
+	// probe, when non-nil, observes every optimization pass with the uop
+	// delta it produced (implemented by obs.Recorder; the interface lives
+	// here so the optimizer does not depend on the observability layer).
+	// One nil-check branch per pass; probes observe only.
+	probe PassProbe
 }
+
+// PassProbe receives per-pass uop deltas when observability is enabled.
+type PassProbe interface {
+	Pass(name string, uopsBefore, uopsAfter int)
+}
+
+// SetProbe attaches (or, with nil, detaches) a pass probe.
+func (o *Optimizer) SetProbe(p PassProbe) { o.probe = p }
 
 // LatencyCycles is the modelled occupancy of the optimizer for a single
 // trace (§3.1: "a significant delay (on the order of 100 cycles)").
@@ -77,6 +91,18 @@ func (o *Optimizer) Config() Config { return o.cfg }
 func (o *Optimizer) Reset() {
 	o.Runs = 0
 	o.Totals = PassStats{}
+	o.probe = nil // observers are per-run
+}
+
+// pass runs one optimization pass, reporting its uop delta to the probe.
+func (o *Optimizer) pass(name string, uops []isa.Uop, st *PassStats,
+	f func([]isa.Uop, *PassStats) []isa.Uop) []isa.Uop {
+	before := len(uops)
+	uops = f(uops, st)
+	if o.probe != nil {
+		o.probe.Pass(name, before, len(uops))
+	}
+	return uops
 }
 
 // OptimizeUops rewrites a raw uop sequence and reports statistics. The
@@ -85,27 +111,27 @@ func (o *Optimizer) OptimizeUops(uops []isa.Uop) ([]isa.Uop, Result) {
 	res := Result{UopsBefore: len(uops), CritBefore: CriticalPath(uops)}
 	st := &res.Stats
 
-	uops = promoteAsserts(uops, st)
+	uops = o.pass("promoteAsserts", uops, st, promoteAsserts)
 	if o.cfg.General {
-		for pass := 0; pass < 2; pass++ {
-			uops = algebraic(uops, st)
-			uops = copyProp(uops, st)
-			uops = constProp(uops, st)
-			uops = dce(uops, st)
+		for round := 0; round < 2; round++ {
+			uops = o.pass("algebraic", uops, st, algebraic)
+			uops = o.pass("copyProp", uops, st, copyProp)
+			uops = o.pass("constProp", uops, st, constProp)
+			uops = o.pass("dce", uops, st, dce)
 		}
 	}
 	if o.cfg.Fusion {
-		uops = fuseCmpBr(uops, st)
-		uops = fusePairs(uops, st)
+		uops = o.pass("fuseCmpBr", uops, st, fuseCmpBr)
+		uops = o.pass("fusePairs", uops, st, fusePairs)
 	}
 	if o.cfg.Simd {
-		uops = simdify(uops, st)
+		uops = o.pass("simdify", uops, st, simdify)
 	}
 	if o.cfg.General {
-		uops = dce(uops, st)
+		uops = o.pass("dce", uops, st, dce)
 	}
 	if o.cfg.Schedule {
-		uops = schedule(uops, st)
+		uops = o.pass("schedule", uops, st, schedule)
 	}
 
 	res.UopsAfter = len(uops)

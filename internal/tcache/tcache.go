@@ -28,6 +28,19 @@ func (s *Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(s.Lookups)
 }
 
+// Probe receives trace-cache events when observability is enabled. The
+// cache has no clock of its own; implementations stamp events with the
+// machine time of the call (see obs.Recorder). Probes observe only.
+type Probe interface {
+	// TCLookup reports one Lookup call and its outcome.
+	TCLookup(key uint64, hit bool)
+	// TCInsert reports a trace insert; writeback marks an in-place
+	// replacement of a resident trace (the optimizer's write-back path).
+	TCInsert(key uint64, uops int, writeback bool)
+	// TCEvict reports the eviction of a resident trace.
+	TCEvict(key uint64)
+}
+
 // Cache is a set-associative trace cache with LRU replacement. Capacity is
 // counted in trace frames (each up to trace.MaxUops uops).
 type Cache struct {
@@ -39,8 +52,16 @@ type Cache struct {
 	used   []uint64
 	clock  uint64
 
+	// probe, when non-nil, observes lookups, inserts and evictions. A single
+	// nil-check branch per operation; nil-probe behaviour is identical to an
+	// uninstrumented cache.
+	probe Probe
+
 	Stats Stats
 }
+
+// SetProbe attaches (or, with nil, detaches) an event probe.
+func (c *Cache) SetProbe(p Probe) { c.probe = p }
 
 // New builds a trace cache holding the given number of frames (rounded up
 // to a power of two) with the given associativity.
@@ -79,10 +100,16 @@ func (c *Cache) Lookup(key uint64) (*trace.Trace, bool) {
 		if c.traces[i] != nil && c.keys[i] == key {
 			c.used[i] = c.clock
 			c.Stats.Hits++
+			if c.probe != nil {
+				c.probe.TCLookup(key, true)
+			}
 			return c.traces[i], true
 		}
 	}
 	c.Stats.Misses++
+	if c.probe != nil {
+		c.probe.TCLookup(key, false)
+	}
 	return nil, false
 }
 
@@ -114,6 +141,9 @@ func (c *Cache) Insert(tr *trace.Trace) (evicted *trace.Trace) {
 			c.traces[i] = tr
 			c.used[i] = c.clock
 			c.Stats.Writebacks++
+			if c.probe != nil {
+				c.probe.TCInsert(key, len(tr.Uops), true)
+			}
 			if old != tr {
 				return old
 			}
@@ -128,11 +158,17 @@ func (c *Cache) Insert(tr *trace.Trace) (evicted *trace.Trace) {
 	if c.traces[victim] != nil {
 		c.Stats.Evictions++
 		evicted = c.traces[victim]
+		if c.probe != nil {
+			c.probe.TCEvict(c.keys[victim])
+		}
 	}
 	c.keys[victim] = key
 	c.traces[victim] = tr
 	c.used[victim] = c.clock
 	c.Stats.Inserts++
+	if c.probe != nil {
+		c.probe.TCInsert(key, len(tr.Uops), false)
+	}
 	return evicted
 }
 
@@ -151,6 +187,7 @@ func (c *Cache) Reset(recycle func(*trace.Trace)) {
 	}
 	c.clock = 0
 	c.Stats = Stats{}
+	c.probe = nil // observers are per-run
 }
 
 // Occupancy returns the number of resident frames.
