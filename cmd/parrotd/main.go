@@ -1,0 +1,131 @@
+// Command parrotd is the simulation-as-a-service daemon: a long-running
+// HTTP server that executes (model, application) simulation cells on a
+// pooled-machine worker fleet behind a content-addressed result cache.
+// Repeated cells — the steady state of the 44×7 evaluation matrix — are
+// served from cache in microseconds instead of re-simulated.
+//
+// Usage:
+//
+//	parrotd                                  # listen on :8044, memory cache
+//	parrotd -addr 127.0.0.1:0 -addrfile a    # random port, written to file
+//	parrotd -cachedir /var/cache/parrot      # persistent on-disk store
+//	parrotd -cachemem 268435456 -workers 8   # 256 MiB LRU, 8 workers
+//	parrotd -prewarm                         # pre-build one machine per model
+//
+// SIGINT/SIGTERM drains gracefully: /healthz reports draining, queued and
+// running jobs finish, in-flight HTTP responses complete, then the process
+// exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"parrot/internal/config"
+	"parrot/internal/core"
+	"parrot/internal/serve/api"
+	"parrot/internal/serve/cache"
+	"parrot/internal/serve/sched"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8044", "listen address (port 0 = random)")
+	addrFile := flag.String("addrfile", "", "write the bound address to this file (for scripts wrapping -addr :0)")
+	cacheDir := flag.String("cachedir", "", "on-disk result store directory (empty = memory only)")
+	cacheMem := flag.Int64("cachemem", 64<<20, "in-memory cache byte budget")
+	workers := flag.Int("workers", 0, "simulation workers (0 = GOMAXPROCS)")
+	queueCap := flag.Int("queue", 4096, "per-priority queue bound")
+	prewarm := flag.Bool("prewarm", false, "pre-construct one pooled machine per model before serving")
+	drainTimeout := flag.Duration("draintimeout", 60*time.Second, "max time to drain on shutdown")
+	flag.Parse()
+
+	c, err := cache.New(cache.Config{MemBudget: *cacheMem, Dir: *cacheDir})
+	if err != nil {
+		return fmt.Errorf("parrotd: cache: %w", err)
+	}
+
+	pool := core.NewPool()
+	if *prewarm {
+		// First-request latency matters for a service: construct one machine
+		// per model ahead of demand instead of on the first interactive job.
+		t0 := time.Now()
+		for _, m := range config.All() {
+			pool.Prewarm(m, 1)
+		}
+		fmt.Fprintf(os.Stderr, "parrotd: prewarmed %d machines in %v\n",
+			pool.Size(), time.Since(t0).Round(time.Millisecond))
+	}
+
+	sc := sched.New(sched.Config{
+		Workers:  *workers,
+		QueueCap: *queueCap,
+		Cache:    c,
+		Pool:     pool,
+	})
+	srv := api.New(api.Config{Cache: c, Sched: sc})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("parrotd: listen: %w", err)
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound), 0o644); err != nil {
+			return fmt.Errorf("parrotd: addrfile: %w", err)
+		}
+	}
+	fmt.Printf("parrotd listening on %s (workers=%d cache=%s)\n",
+		bound, sc.Stats().Workers, cacheDesc(*cacheMem, *cacheDir))
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return fmt.Errorf("parrotd: serve: %w", err)
+		}
+		return nil
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "parrotd: %v received, draining…\n", s)
+	}
+
+	// Graceful drain: stop accepting scheduler jobs, let queued/running work
+	// and in-flight HTTP responses finish, then close the listener.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := sc.Drain(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "parrotd: scheduler drain: %v\n", err)
+	}
+	if err := hs.Shutdown(ctx); err != nil {
+		return fmt.Errorf("parrotd: shutdown: %w", err)
+	}
+	fmt.Fprintln(os.Stderr, "parrotd: drained cleanly")
+	return nil
+}
+
+func cacheDesc(mem int64, dir string) string {
+	if dir == "" {
+		return fmt.Sprintf("%dMiB mem", mem>>20)
+	}
+	return fmt.Sprintf("%dMiB mem + %s", mem>>20, dir)
+}

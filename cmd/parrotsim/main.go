@@ -7,15 +7,22 @@
 //	parrotsim -model TON -app swim -n 200000
 //	parrotsim -model TON -app swim -json
 //	parrotsim -model TON -tracefile swim.ptrace
+//	parrotsim -model TON -app swim -remote http://127.0.0.1:8044
 //	parrotsim -list
 //	parrotsim -model TON -app swim -cpuprofile cpu.out -memprofile mem.out
+//
+// With -remote the run is served by a parrotd instance (microseconds when
+// the cell is cached); if the server is unreachable the command warns and
+// falls back to an in-process simulation, which is bit-identical.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"parrot"
 	"parrot/internal/config"
@@ -23,9 +30,37 @@ import (
 	"parrot/internal/energy"
 	"parrot/internal/experiments"
 	"parrot/internal/profiling"
+	"parrot/internal/serve/client"
+	"parrot/internal/serve/proto"
 	"parrot/internal/tracefile"
 	"parrot/internal/workload"
 )
+
+// runRemote serves the cell from a parrotd instance. A reachability error
+// returns (nil, nil): the caller falls back to local simulation with a
+// warning. A reachable server that fails the request is a hard error — the
+// user asked for that server's answer.
+func runRemote(server, modelID, appName string, n int) (*parrot.Result, error) {
+	c := client.New(server)
+	ctx := context.Background()
+	if err := c.Ping(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "parrotsim: warning: %s unreachable (%v); falling back to local simulation\n", server, err)
+		return nil, nil
+	}
+	ctx, cancel := context.WithTimeout(ctx, 5*time.Minute)
+	defer cancel()
+	resp, err := c.Run(ctx, proto.RunRequest{Model: modelID, App: appName, Insts: n})
+	if err != nil {
+		return nil, err
+	}
+	disp := "computed"
+	if resp.Cached {
+		disp = "cache hit"
+	}
+	fmt.Fprintf(os.Stderr, "parrotsim: served by %s (%s, %s)\n",
+		server, disp, time.Duration(resp.ElapsedUs*int64(time.Microsecond)).Round(time.Millisecond))
+	return resp.Result, nil
+}
 
 // runTraceFile replays a captured trace on the named model, with the
 // standard warmup fraction applied to the file's record count.
@@ -58,6 +93,7 @@ func main() {
 	app := flag.String("app", "swim", "benchmark application name")
 	n := flag.Int("n", 0, "dynamic instructions (0 = profile default)")
 	traceFile := flag.String("tracefile", "", "replay a captured trace file instead of synthesizing -app")
+	remote := flag.String("remote", "", "serve the run from a parrotd instance at this base URL (falls back to local when unreachable)")
 	list := flag.Bool("list", false, "list models and applications, then exit")
 	jsonOut := flag.Bool("json", false, "emit the run result as machine-readable JSON")
 	prof := profiling.Define()
@@ -87,9 +123,18 @@ func main() {
 
 	var r *parrot.Result
 	var err error
-	if *traceFile != "" {
+	switch {
+	case *traceFile != "":
+		if *remote != "" {
+			fmt.Fprintln(os.Stderr, "parrotsim: -remote does not apply to -tracefile (the server synthesizes by name); running locally")
+		}
 		r, err = runTraceFile(*model, *traceFile)
-	} else {
+	case *remote != "":
+		r, err = runRemote(*remote, *model, *app, *n)
+		if err == nil && r == nil { // unreachable: graceful local fallback
+			r, err = parrot.RunByName(*model, *app, *n)
+		}
+	default:
 		r, err = parrot.RunByName(*model, *app, *n)
 	}
 	if err != nil {

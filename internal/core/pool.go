@@ -156,6 +156,31 @@ func (p *Pool) Put(m *Machine) {
 	p.free[m.model] = append(p.free[m.model], m)
 }
 
+// Prewarm constructs machines for the model ahead of demand until the pool
+// retains n of them (bounded by MaxPerModel), so a serving fleet's first
+// requests pay a Reset instead of full construction — cache tag arrays,
+// predictor tables and engine ring buffers are the dominant cold-start
+// cost. Construction happens outside the pool lock; concurrent traffic is
+// unaffected.
+func (p *Pool) Prewarm(model config.Model, n int) {
+	cap := p.MaxPerModel
+	if cap <= 0 {
+		cap = 16
+	}
+	if n > cap {
+		n = cap
+	}
+	for {
+		p.mu.Lock()
+		have := len(p.free[model])
+		p.mu.Unlock()
+		if have >= n {
+			return
+		}
+		p.Put(New(model))
+	}
+}
+
 // Stats returns a snapshot of the pool counters.
 func (p *Pool) Stats() PoolStats {
 	p.mu.Lock()

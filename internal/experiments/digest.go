@@ -2,9 +2,7 @@ package experiments
 
 import (
 	"crypto/sha256"
-	"encoding/binary"
 	"encoding/hex"
-	"math"
 )
 
 // Digest returns a hex-encoded SHA-256 over every deterministic field of the
@@ -14,77 +12,29 @@ import (
 // vectors, trace-machinery counters — produce the same digest; any semantic
 // divergence in the simulation kernel changes it.
 //
+// Each cell is hashed by writeResult (see spec.go), the same canonical
+// encoding ResultDigest applies to single cells, so a matrix reassembled
+// from individually cached (and individually verified) cells reproduces
+// this digest bit-exactly — the property the serving layer's CI smoke test
+// enforces end-to-end.
+//
 // The committed golden digest (see TestMatrixGoldenDigest) is the safety net
 // that makes aggressive kernel rewrites shippable: the event-driven engine
 // must reproduce the poll-everything engine's matrix exactly.
 func (r *Results) Digest() string {
 	h := sha256.New()
-	var buf [8]byte
-	wu := func(v uint64) {
-		binary.LittleEndian.PutUint64(buf[:], v)
-		h.Write(buf[:])
-	}
-	wf := func(v float64) { wu(math.Float64bits(v)) }
-	ws := func(s string) {
-		wu(uint64(len(s)))
-		h.Write([]byte(s))
-	}
-
 	for _, id := range r.Models() {
 		for _, p := range r.Apps() {
 			res := r.Get(id, p.Name)
 			if res == nil {
-				ws(string(id))
-				ws(p.Name)
+				wstr(h, string(id))
+				wstr(h, p.Name)
 				continue
 			}
-			ws(string(res.Model))
-			ws(res.App)
-			wu(res.Insts)
-			wu(res.Cycles)
-			wu(res.HotInsts)
-			wu(res.ColdInsts)
-			wf(res.DynEnergy)
-			for _, b := range res.Breakdown {
-				wf(b)
-			}
-			wu(res.BranchStats.Lookups)
-			wu(res.BranchStats.Updates)
-			wu(res.BranchStats.Mispredicts)
-			wu(res.TPredStats.Lookups)
-			wu(res.TPredStats.Predictions)
-			wu(res.TPredStats.Correct)
-			wu(res.TPredStats.Mispredicts)
-			wu(res.TPredStats.Updates)
-			wu(res.TCStats.Lookups)
-			wu(res.TCStats.Hits)
-			wu(res.TCStats.Misses)
-			wu(res.TCStats.Inserts)
-			wu(res.TCStats.Writebacks)
-			wu(res.TCStats.Evictions)
-			wu(res.TraceAborts)
-			wu(res.TraceBuilds)
-			wu(res.HotSegments)
-			wu(res.ColdSegments)
-			wu(res.Optimizations)
-			wu(res.OptUopsBefore)
-			wu(res.OptUopsAfter)
-			wu(res.OptCritBefore)
-			wu(res.OptCritAfter)
-			wu(res.DynUopsOrig)
-			wu(res.DynUopsOpt)
-			wu(res.DynCritOrig)
-			wu(res.DynCritOpt)
-			wu(res.OptTracesSeen)
-			wu(res.OptExecs)
-			wu(res.UopsCommitted)
-			wu(res.UopsDispatched)
-			for _, c := range res.Counts {
-				wu(c)
-			}
+			writeResult(h, res)
 		}
 	}
-	wf(r.PMax)
-	ws(r.PMaxApp)
+	wf64(h, r.PMax)
+	wstr(h, r.PMaxApp)
 	return hex.EncodeToString(h.Sum(nil))
 }

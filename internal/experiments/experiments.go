@@ -8,7 +8,6 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"parrot/internal/config"
@@ -34,9 +33,14 @@ type Config struct {
 
 	// Progress, when non-nil, receives completion updates from the matrix
 	// fan-out: cells done so far, the total cell count, wall time elapsed and
-	// an ETA extrapolated from the mean per-cell time. Called once per
-	// completed cell from the completing worker's goroutine, so callbacks must
-	// be cheap and concurrency-safe (the CLI uses a \r status line).
+	// an ETA extrapolated from the mean per-cell time. Invocations are
+	// serialized under an internal mutex and done is strictly increasing,
+	// hitting every value 1..total exactly once — consumers that relay
+	// progress (the CLI's \r status line, the serving layer's SSE stream)
+	// can rely on monotonic ordering without their own locking
+	// (TestProgressMonotonicUnderConcurrency pins this). Callbacks run on
+	// the completing worker's goroutine and must stay cheap: the fan-out
+	// serializes on them.
 	Progress func(done, total int, elapsed, eta time.Duration)
 }
 
@@ -107,10 +111,14 @@ func Run(cfg Config) *Results {
 	}
 	close(jobs)
 
-	// Progress accounting: one atomic increment per cell; the ETA
-	// extrapolates the mean per-cell wall time over the remaining cells
-	// (cells are similar-sized, so the estimate converges quickly).
-	var done atomic.Int64
+	// Progress accounting: the counter increment and the callback share one
+	// mutex, so callbacks are serialized and observe strictly increasing
+	// done values — the contract SSE relays depend on. The ETA extrapolates
+	// the mean per-cell wall time over the remaining cells (cells are
+	// similar-sized, so the estimate converges quickly). With Progress nil
+	// the mutex is never touched and the fan-out stays lock-free.
+	var progressMu sync.Mutex
+	done := 0
 	total := len(res.matrix)
 	start := time.Now()
 
@@ -136,30 +144,83 @@ func Run(cfg Config) *Results {
 				}
 				res.matrix[idx] = core.RunWarmOn(m, apps[idx%len(apps)], cfg.Insts)
 				if cfg.Progress != nil {
-					d := int(done.Add(1))
+					progressMu.Lock()
+					done++
+					d := done
 					elapsed := time.Since(start)
 					var eta time.Duration
 					if d > 0 {
 						eta = time.Duration(int64(elapsed) / int64(d) * int64(total-d))
 					}
 					cfg.Progress(d, total, elapsed, eta)
+					progressMu.Unlock()
 				}
 			}
 		}()
 	}
 	wg.Wait()
 
-	// Leakage anchor: P_MAX of the base model, scanned in roster order.
-	if row, ok := res.modelIdx[config.N]; ok {
-		for i, p := range apps {
-			if r := res.matrix[row*len(apps)+i]; r != nil {
-				if pw := r.AvgDynPower(); pw > res.PMax {
-					res.PMax = pw
-					res.PMaxApp = p.Name
-				}
+	res.finalizePMax()
+	return res
+}
+
+// finalizePMax derives the leakage anchor: P_MAX of the base model N,
+// scanned in roster order. Shared by Run and Assemble so a matrix
+// reassembled from cached cells anchors leakage identically.
+func (r *Results) finalizePMax() {
+	row, ok := r.modelIdx[config.N]
+	if !ok {
+		return
+	}
+	for i, p := range r.apps {
+		if res := r.matrix[row*len(r.apps)+i]; res != nil {
+			if pw := res.AvgDynPower(); pw > r.PMax {
+				r.PMax = pw
+				r.PMaxApp = p.Name
 			}
 		}
 	}
+}
+
+// Assemble builds a Results matrix from externally produced cells — the
+// serving layer's path: parrotd computes (or cache-serves) each cell
+// independently, and the client reassembles the matrix to drive the same
+// figure/table generators and the same Digest as an in-process Run. cell is
+// called once per (model, application) pair and may return nil for cells it
+// cannot produce (they digest as absent, exactly like Run's missing cells).
+//
+// Because each cell is a bit-exact function of its RunSpec and finalizePMax
+// is shared with Run, Assemble(models, apps, insts, remoteCell) over a
+// faithful transport reproduces Run(Config{...}).Digest() bit-identically —
+// the end-to-end property the service smoke test enforces.
+func Assemble(models []config.Model, apps []workload.Profile, insts int,
+	cell func(config.Model, workload.Profile) *core.Result) *Results {
+	if apps == nil {
+		apps = workload.Apps()
+	}
+	if models == nil {
+		models = config.All()
+	}
+	res := &Results{
+		cfg:      Config{Insts: insts, Apps: apps, Models: models},
+		apps:     apps,
+		models:   models,
+		modelIdx: make(map[config.ModelID]int, len(models)),
+		appIdx:   make(map[string]int, len(apps)),
+		matrix:   make([]*core.Result, len(models)*len(apps)),
+	}
+	for i, m := range models {
+		res.modelIdx[m.ID] = i
+	}
+	for i, p := range apps {
+		res.appIdx[p.Name] = i
+	}
+	for mi, m := range models {
+		for ai, p := range apps {
+			res.matrix[mi*len(apps)+ai] = cell(m, p)
+		}
+	}
+	res.finalizePMax()
 	return res
 }
 

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"parrot/internal/config"
+	"parrot/internal/workload"
+)
+
+// TestProgressMonotonicUnderConcurrency pins the Progress contract the SSE
+// relay and the CLI status line rely on: with a parallel fan-out, callbacks
+// are serialized and done is strictly increasing, hitting every value
+// 1..total exactly once. Before the callback was moved under the progress
+// mutex, two workers completing together could observe reordered done
+// values; this test fails on that implementation.
+func TestProgressMonotonicUnderConcurrency(t *testing.T) {
+	var apps []workload.Profile
+	for _, name := range []string{"gzip", "swim", "gcc", "word", "flash", "dotnet-num1"} {
+		p, ok := workload.ByName(name)
+		if !ok {
+			t.Fatalf("unknown app %s", name)
+		}
+		apps = append(apps, p)
+	}
+	models := []config.Model{config.Get(config.N), config.Get(config.TN), config.Get(config.TON)}
+	total := len(models) * len(apps)
+
+	// The callback body deliberately holds no lock of its own: the
+	// serialization guarantee must come from the fan-out.
+	var seen []int
+	var lastElapsed time.Duration
+	res := Run(Config{
+		Models:      models,
+		Apps:        apps,
+		Insts:       5000,
+		Parallelism: 8,
+		Progress: func(done, tot int, elapsed, eta time.Duration) {
+			if tot != total {
+				t.Errorf("total = %d, want %d", tot, total)
+			}
+			if elapsed < lastElapsed {
+				t.Errorf("elapsed went backwards: %v after %v", elapsed, lastElapsed)
+			}
+			lastElapsed = elapsed
+			if eta < 0 {
+				t.Errorf("negative eta %v at done=%d", eta, done)
+			}
+			seen = append(seen, done)
+		},
+	})
+	if res == nil {
+		t.Fatal("nil results")
+	}
+	if len(seen) != total {
+		t.Fatalf("saw %d callbacks, want %d", len(seen), total)
+	}
+	for i, d := range seen {
+		if d != i+1 {
+			t.Fatalf("done sequence %v: position %d is %d, want %d (strictly increasing 1..total)", seen, i, d, i+1)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+// Package api implements parrotd's HTTP surface (stdlib net/http only):
+//
+//	POST /v1/run              one simulation cell (JSON in/out)
+//	POST /v1/matrix           model × application fan-out with SSE progress
+//	GET  /v1/results/{digest} cache-only lookup by content address
+//	GET  /healthz             liveness + drain state
+//	GET  /metricsz            cache/scheduler/pool counters
+//
+// The server is a thin adapter: request bodies resolve to canonical
+// experiments.RunSpecs, the scheduler executes (or the cache serves) them,
+// and responses carry complete core.Result cells plus their content
+// addresses, so clients can verify transport integrity end-to-end.
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"time"
+
+	"parrot/internal/config"
+	"parrot/internal/core"
+	"parrot/internal/experiments"
+	"parrot/internal/serve/cache"
+	"parrot/internal/serve/proto"
+	"parrot/internal/serve/sched"
+	"parrot/internal/workload"
+)
+
+// Config parameterizes a server.
+type Config struct {
+	Cache *cache.Cache
+	Sched *sched.Sched
+	// DefaultTimeout bounds requests that carry no TimeoutMs (0 = 120s).
+	DefaultTimeout time.Duration
+	// MaxMatrixTimeout bounds matrix requests (0 = 10min).
+	MaxMatrixTimeout time.Duration
+}
+
+// Server wires the serving subsystem behind an http.Handler.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	start time.Time
+}
+
+// New builds a server over a scheduler (required) and its cache (may be
+// nil: every request then simulates).
+func New(cfg Config) *Server {
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 120 * time.Second
+	}
+	if cfg.MaxMatrixTimeout <= 0 {
+		cfg.MaxMatrixTimeout = 10 * time.Minute
+	}
+	s := &Server{cfg: cfg, mux: http.NewServeMux(), start: time.Now()}
+	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("POST /v1/matrix", s.handleMatrix)
+	s.mux.HandleFunc("GET /v1/results/{digest}", s.handleResult)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metricsz", s.handleMetricsz)
+	return s
+}
+
+// Handler returns the routable HTTP surface.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, proto.Error{Error: fmt.Sprintf(format, args...)})
+}
+
+// resolveSpec canonicalizes a (model, app, insts) triple.
+func resolveSpec(modelID, appName string, insts int) (experiments.RunSpec, error) {
+	var model config.Model
+	found := false
+	for _, m := range config.All() {
+		if string(m.ID) == modelID {
+			model, found = m, true
+			break
+		}
+	}
+	if !found {
+		return experiments.RunSpec{}, fmt.Errorf("unknown model %q", modelID)
+	}
+	prof, ok := workload.ByName(appName)
+	if !ok {
+		return experiments.RunSpec{}, fmt.Errorf("unknown application %q", appName)
+	}
+	return experiments.RunSpec{Model: model, App: prof, Insts: insts}.Normalize(), nil
+}
+
+// schedErrStatus maps scheduler errors onto HTTP statuses.
+func schedErrStatus(err error) int {
+	switch {
+	case errors.Is(err, sched.ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, sched.ErrDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusRequestTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req proto.RunRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	spec, err := resolveSpec(req.Model, req.App, req.Insts)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMs > 0 {
+		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	start := time.Now()
+	var (
+		res    *core.Result
+		cached bool
+	)
+	if req.Priority == proto.PriorityBatch {
+		res, cached, err = s.cfg.Sched.SubmitBatch(ctx, spec)
+	} else {
+		res, cached, err = s.cfg.Sched.Submit(ctx, spec)
+	}
+	if err != nil {
+		writeErr(w, schedErrStatus(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, proto.RunResponse{
+		Digest:       spec.Digest(),
+		Cached:       cached,
+		ResultDigest: experiments.ResultDigest(res),
+		ElapsedUs:    time.Since(start).Microseconds(),
+		Result:       res,
+	})
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	digest := r.PathValue("digest")
+	if s.cfg.Cache == nil {
+		writeErr(w, http.StatusNotFound, "no result cache configured")
+		return
+	}
+	res, ok := s.cfg.Cache.Get(digest)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no result under digest %.12s…", digest)
+		return
+	}
+	writeJSON(w, http.StatusOK, proto.RunResponse{
+		Digest:       digest,
+		Cached:       true,
+		ResultDigest: experiments.ResultDigest(res),
+		Result:       res,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, proto.Health{
+		OK:         true,
+		Draining:   s.cfg.Sched.Draining(),
+		UptimeMs:   time.Since(s.start).Milliseconds(),
+		SimVersion: experiments.SimVersion,
+		GoVersion:  runtime.Version(),
+	})
+}
+
+func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	var m proto.Metrics
+	if s.cfg.Cache != nil {
+		cs := s.cfg.Cache.Stats()
+		m.Cache = proto.CacheMetrics{
+			Hits: cs.Hits, Misses: cs.Misses,
+			MemHits: cs.MemHits, DiskHits: cs.DiskHits,
+			Puts: cs.Puts, Evictions: cs.Evictions, DiskErrors: cs.DiskErrors,
+			Entries: cs.Entries, Bytes: cs.Bytes, Budget: cs.Budget,
+			HitRate:        cs.HitRate(),
+			EntryBytesMean: cs.EntryBytesMean,
+		}
+	}
+	ss := s.cfg.Sched.Stats()
+	m.Sched = proto.SchedMetrics{
+		Workers:          ss.Workers,
+		Running:          ss.Running,
+		InteractiveDepth: ss.InteractiveDepth,
+		BatchDepth:       ss.BatchDepth,
+		Completed:        ss.Completed,
+		Deduped:          ss.Deduped,
+		Rejected:         ss.Rejected,
+		Abandoned:        ss.Abandoned,
+		CacheHits:        ss.CacheHits,
+		SimInsts:         ss.SimInsts,
+		BusyUs:           ss.BusyTime.Microseconds(),
+		SimMIPS:          ss.SimMIPS(),
+	}
+	if up := time.Since(s.start); up > 0 && ss.Workers > 0 {
+		m.Sched.Utilization = ss.BusyTime.Seconds() / (up.Seconds() * float64(ss.Workers))
+	}
+	ps := s.cfg.Sched.Pool().Stats()
+	m.Pool = proto.PoolMetrics{
+		Gets: ps.Gets, Reuses: ps.Reuses, Puts: ps.Puts, Discards: ps.Discards,
+		Size: s.cfg.Sched.Pool().Size(),
+	}
+	writeJSON(w, http.StatusOK, m)
+}

@@ -1,0 +1,191 @@
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"parrot/internal/config"
+	"parrot/internal/core"
+	"parrot/internal/experiments"
+	"parrot/internal/serve/proto"
+	"parrot/internal/workload"
+)
+
+// handleMatrix fans a model × application matrix out onto the scheduler's
+// batch queue and streams progress as Server-Sent Events: one "progress"
+// event per completed cell (done strictly increasing 1..total, mirroring
+// the experiments.Config.Progress contract), then a single terminal
+// "result" event carrying every cell plus the matrix digest computed with
+// the same canonical hashing as an in-process experiments.Run — or a
+// terminal "error" event.
+//
+// Cells are submitted in model-major order (the experiments fan-out's
+// machine-locality trick) and deduplicated per digest, so concurrent matrix
+// requests over the same spec share simulations instead of multiplying
+// them.
+func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
+	var req proto.MatrixRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+
+	models, apps, err := resolveMatrix(req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, http.StatusInternalServerError, "streaming unsupported by connection")
+		return
+	}
+	timeout := s.cfg.MaxMatrixTimeout
+	if req.TimeoutMs > 0 {
+		t := time.Duration(req.TimeoutMs) * time.Millisecond
+		if t < timeout {
+			timeout = t
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	emit := func(event string, payload any) {
+		b, _ := json.Marshal(payload)
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, b)
+		flusher.Flush()
+	}
+
+	type cellDone struct {
+		idx    int
+		cached bool
+		res    *core.Result
+		err    error
+	}
+
+	total := len(models) * len(apps)
+	start := time.Now()
+	done := make(chan cellDone, total)
+
+	// Fan out: one waiter goroutine per cell (they mostly block on shared
+	// flights; the real concurrency is the scheduler's worker cap). Model-
+	// major order keeps consecutive batch jobs on the same model.
+	for mi, m := range models {
+		for ai, p := range apps {
+			idx := mi*len(apps) + ai
+			spec := experiments.RunSpec{Model: m, App: p, Insts: req.Insts}.Normalize()
+			go func() {
+				res, cached, err := s.cfg.Sched.SubmitBatch(ctx, spec)
+				done <- cellDone{idx: idx, cached: cached, res: res, err: err}
+			}()
+		}
+	}
+
+	cells := make([]cellDone, total)
+	cachedCells := 0
+	for n := 1; n <= total; n++ {
+		d := <-done
+		if d.err != nil {
+			emit("error", proto.Error{Error: d.err.Error()})
+			return
+		}
+		cells[d.idx] = d
+		if d.cached {
+			cachedCells++
+		}
+		elapsed := time.Since(start)
+		eta := time.Duration(int64(elapsed) / int64(n) * int64(total-n))
+		emit("progress", proto.Progress{
+			Done: n, Total: total,
+			ElapsedUs: elapsed.Microseconds(), EtaUs: eta.Microseconds(),
+			Cached: d.cached,
+		})
+	}
+
+	// Reassemble the matrix with the shared constructor so PMax and the
+	// digest are derived exactly as experiments.Run derives them.
+	res := experiments.Assemble(models, apps, req.Insts,
+		func(m config.Model, p workload.Profile) *core.Result {
+			for mi, mm := range models {
+				if mm.ID != m.ID {
+					continue
+				}
+				for ai, pp := range apps {
+					if pp.Name == p.Name {
+						return cells[mi*len(apps)+ai].res
+					}
+				}
+			}
+			return nil
+		})
+
+	out := proto.MatrixResponse{
+		Digest:      res.Digest(),
+		PMax:        res.PMax,
+		PMaxApp:     res.PMaxApp,
+		Insts:       req.Insts,
+		CachedCells: cachedCells,
+		TotalCells:  total,
+		ElapsedUs:   time.Since(start).Microseconds(),
+		Cells:       make([]proto.Cell, 0, total),
+	}
+	for mi, m := range models {
+		for ai, p := range apps {
+			d := cells[mi*len(apps)+ai]
+			out.Cells = append(out.Cells, proto.Cell{
+				Model:  string(m.ID),
+				App:    p.Name,
+				Digest: experiments.RunSpec{Model: m, App: p, Insts: req.Insts}.Digest(),
+				Cached: d.cached,
+				Result: d.res,
+			})
+		}
+	}
+	emit("result", out)
+}
+
+// resolveMatrix expands a matrix request into concrete model and profile
+// sets (empty = full sets).
+func resolveMatrix(req proto.MatrixRequest) ([]config.Model, []workload.Profile, error) {
+	var models []config.Model
+	if len(req.Models) == 0 {
+		models = config.All()
+	} else {
+		for _, id := range req.Models {
+			found := false
+			for _, m := range config.All() {
+				if string(m.ID) == id {
+					models = append(models, m)
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil, nil, fmt.Errorf("unknown model %q", id)
+			}
+		}
+	}
+	var apps []workload.Profile
+	if len(req.Apps) == 0 {
+		apps = workload.Apps()
+	} else {
+		for _, name := range req.Apps {
+			p, ok := workload.ByName(name)
+			if !ok {
+				return nil, nil, fmt.Errorf("unknown application %q", name)
+			}
+			apps = append(apps, p)
+		}
+	}
+	return models, apps, nil
+}

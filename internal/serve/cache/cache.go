@@ -1,0 +1,297 @@
+// Package cache implements the serving layer's content-addressed result
+// store. Keys are RunSpec digests (hex SHA-256 of the fully-resolved run
+// spec, see experiments.RunSpec.Digest); values are complete core.Result
+// cells. PR 2's golden digest proved runs are bit-exact functions of their
+// spec, so the mapping digest → result is immutable: entries never need
+// invalidation (a modelling change bumps experiments.SimVersion, which
+// changes every key).
+//
+// The store is two-level: a byte-budgeted in-memory LRU front serves
+// repeated cells in microseconds, and an optional on-disk store (atomic
+// rename writes) survives restarts. Every entry carries the canonical
+// result digest (experiments.ResultDigest); disk loads are verified against
+// it, so corrupt or truncated entries are detected, expunged and recomputed
+// — never served.
+package cache
+
+import (
+	"encoding/json"
+	"sync"
+
+	"parrot/internal/core"
+	"parrot/internal/experiments"
+	"parrot/internal/metrics"
+)
+
+// Stats counts cache traffic. Hits = MemHits + DiskHits.
+type Stats struct {
+	Hits       uint64
+	Misses     uint64
+	MemHits    uint64
+	DiskHits   uint64
+	Puts       uint64
+	Evictions  uint64
+	DiskPuts   uint64
+	DiskErrors uint64 // unreadable/corrupt/mismatched disk entries expunged
+
+	Entries int   // resident in-memory entries
+	Bytes   int64 // resident in-memory payload bytes
+	Budget  int64 // in-memory byte budget
+
+	// EntryBytesMean is the mean encoded entry size over all insertions.
+	EntryBytesMean float64
+}
+
+// HitRate returns hits per lookup.
+func (s Stats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Config parameterizes a cache.
+type Config struct {
+	// MemBudget bounds resident payload bytes (<=0 = 64 MiB). The budget
+	// applies to encoded payloads; map/list overhead is not charged.
+	MemBudget int64
+	// Dir enables the on-disk store when non-empty. The directory is
+	// created if missing. Disk entries are not budgeted (cells are a few
+	// KiB; a full 44×7 matrix is ~1 MiB).
+	Dir string
+}
+
+// entry is one resident cell: the encoded payload (canonical JSON of the
+// core.Result) plus its integrity digest, on an intrusive LRU list.
+type entry struct {
+	key        string
+	payload    []byte
+	resDigest  string
+	next, prev *entry // LRU list: head = most recent
+}
+
+// Cache is a content-addressed result store. All methods are safe for
+// concurrent use.
+type Cache struct {
+	mu      sync.Mutex
+	budget  int64
+	bytes   int64
+	entries map[string]*entry
+	head    *entry // most recently used
+	tail    *entry // least recently used
+	dir     string
+
+	// occupancy histograms encoded entry sizes over all insertions — the
+	// byte-budget sizing signal surfaced on /metricsz.
+	occupancy *metrics.Histogram
+
+	stats Stats
+}
+
+// New builds a cache. If cfg.Dir is non-empty the directory is created and
+// used as the persistent second level.
+func New(cfg Config) (*Cache, error) {
+	budget := cfg.MemBudget
+	if budget <= 0 {
+		budget = 64 << 20
+	}
+	c := &Cache{
+		budget:  budget,
+		entries: make(map[string]*entry),
+		dir:     cfg.Dir,
+		// Entry-size buckets: cells encode to a few KiB; 1 KiB steps up to
+		// 16 KiB cover the realistic range, the overflow bucket catches the
+		// rest.
+		occupancy: metrics.NewHistogram(metrics.LinearBuckets(1<<10, 16)...),
+	}
+	if cfg.Dir != "" {
+		if err := c.initDir(); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// encode produces the canonical payload of a result. JSON of core.Result
+// round-trips exactly (uint64 counters and shortest-roundtrip float64s), so
+// decode(encode(r)) reproduces r's ResultDigest bit-identically.
+func encode(res *core.Result) ([]byte, error) { return json.Marshal(res) }
+
+func decode(payload []byte) (*core.Result, error) {
+	var r core.Result
+	if err := json.Unmarshal(payload, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// Get returns the cell stored under the digest. The in-memory front is
+// consulted first; on miss, the disk store (when enabled) is probed,
+// verified against the stored result digest and promoted into memory.
+// Corrupt disk entries count as misses (and are expunged) — the caller
+// recomputes and Puts the fresh result.
+func (c *Cache) Get(digest string) (*core.Result, bool) {
+	c.mu.Lock()
+	if e, ok := c.entries[digest]; ok {
+		c.moveToFront(e)
+		payload := e.payload
+		c.stats.Hits++
+		c.stats.MemHits++
+		c.mu.Unlock()
+		res, err := decode(payload)
+		if err != nil {
+			// Unreachable in practice (payload was produced by encode); treat
+			// as a miss and drop the entry defensively.
+			c.mu.Lock()
+			if e2, ok := c.entries[digest]; ok {
+				c.removeLocked(e2)
+			}
+			c.stats.Hits--
+			c.stats.MemHits--
+			c.stats.Misses++
+			c.mu.Unlock()
+			return nil, false
+		}
+		return res, true
+	}
+	c.mu.Unlock()
+
+	if c.dir != "" {
+		if res, payload, resDigest, ok := c.diskGet(digest); ok {
+			c.mu.Lock()
+			c.stats.Hits++
+			c.stats.DiskHits++
+			c.insertLocked(digest, payload, resDigest)
+			c.mu.Unlock()
+			return res, true
+		}
+	}
+
+	c.mu.Lock()
+	c.stats.Misses++
+	c.mu.Unlock()
+	return nil, false
+}
+
+// Put stores a cell under its digest, in memory and (when enabled) on
+// disk. Storing an already-resident digest refreshes recency only: content
+// under a digest is immutable.
+func (c *Cache) Put(digest string, res *core.Result) error {
+	payload, err := encode(res)
+	if err != nil {
+		return err
+	}
+	resDigest := experiments.ResultDigest(res)
+
+	c.mu.Lock()
+	c.stats.Puts++
+	if e, ok := c.entries[digest]; ok {
+		c.moveToFront(e)
+		c.mu.Unlock()
+		return nil
+	}
+	c.insertLocked(digest, payload, resDigest)
+	c.mu.Unlock()
+
+	if c.dir != "" {
+		if err := c.diskPut(digest, payload, resDigest); err != nil {
+			c.mu.Lock()
+			c.stats.DiskErrors++
+			c.mu.Unlock()
+			return err
+		}
+		c.mu.Lock()
+		c.stats.DiskPuts++
+		c.mu.Unlock()
+	}
+	return nil
+}
+
+// insertLocked adds a payload under the digest and evicts LRU entries until
+// the byte budget holds. Caller holds c.mu.
+func (c *Cache) insertLocked(digest string, payload []byte, resDigest string) {
+	if e, ok := c.entries[digest]; ok {
+		c.moveToFront(e)
+		return
+	}
+	e := &entry{key: digest, payload: payload, resDigest: resDigest}
+	c.entries[digest] = e
+	c.bytes += int64(len(payload))
+	c.occupancy.Add(len(payload))
+	c.pushFront(e)
+	for c.bytes > c.budget && c.tail != nil && c.tail != e {
+		c.stats.Evictions++
+		c.removeLocked(c.tail)
+	}
+}
+
+func (c *Cache) pushFront(e *entry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *Cache) moveToFront(e *entry) {
+	if c.head == e {
+		return
+	}
+	// Unlink.
+	if e.prev != nil {
+		e.prev.next = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	}
+	if c.tail == e {
+		c.tail = e.prev
+	}
+	c.pushFront(e)
+}
+
+func (c *Cache) removeLocked(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else if c.head == e {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else if c.tail == e {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+	delete(c.entries, e.key)
+	c.bytes -= int64(len(e.payload))
+}
+
+// Len returns the number of resident in-memory entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Bytes returns resident in-memory payload bytes.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = len(c.entries)
+	s.Bytes = c.bytes
+	s.Budget = c.budget
+	s.EntryBytesMean = c.occupancy.Mean()
+	return s
+}

@@ -1,0 +1,255 @@
+// Package client is the Go client of the parrotd serving API. Every remote
+// consumer — parrotctl, parrotload, parrotsim -remote, parrotbench -remote
+// — goes through this library, so request construction, SSE parsing and
+// integrity verification live in one place.
+//
+// Responses carrying results are verified end-to-end: the decoded
+// core.Result must reproduce the server's reported ResultDigest (the same
+// canonical hashing the golden-digest test uses), so transport or decode
+// corruption is detected at the client boundary rather than propagating
+// into figures.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"parrot/internal/experiments"
+	"parrot/internal/serve/proto"
+)
+
+// Client talks to one parrotd instance.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New builds a client for a server base URL, e.g. "http://127.0.0.1:8044".
+func New(base string) *Client {
+	return &Client{
+		base: strings.TrimRight(base, "/"),
+		// No global client timeout: matrix SSE streams legitimately run for
+		// minutes. Per-call deadlines come from the caller's context.
+		hc: &http.Client{},
+	}
+}
+
+// Base returns the server base URL.
+func (c *Client) Base() string { return c.base }
+
+func (c *Client) postJSON(ctx context.Context, path string, body, out any) error {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeErr(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeErr(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func decodeErr(resp *http.Response) error {
+	var e proto.Error
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<10)).Decode(&e); err == nil && e.Error != "" {
+		return fmt.Errorf("server: %s (HTTP %d)", e.Error, resp.StatusCode)
+	}
+	return fmt.Errorf("server: HTTP %d", resp.StatusCode)
+}
+
+// verifyRun checks a run response's result against its reported digest.
+func verifyRun(r *proto.RunResponse) error {
+	if r.Result == nil {
+		return fmt.Errorf("client: response carries no result")
+	}
+	if r.ResultDigest == "" {
+		return nil // older/thin servers: nothing to verify against
+	}
+	if got := experiments.ResultDigest(r.Result); got != r.ResultDigest {
+		return fmt.Errorf("client: result digest mismatch (got %.12s, want %.12s): transport corruption", got, r.ResultDigest)
+	}
+	return nil
+}
+
+// Run requests one simulation cell.
+func (c *Client) Run(ctx context.Context, req proto.RunRequest) (*proto.RunResponse, error) {
+	var out proto.RunResponse
+	if err := c.postJSON(ctx, "/v1/run", req, &out); err != nil {
+		return nil, err
+	}
+	if err := verifyRun(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Result fetches a cached cell by content address (404 → error).
+func (c *Client) Result(ctx context.Context, digest string) (*proto.RunResponse, error) {
+	var out proto.RunResponse
+	if err := c.getJSON(ctx, "/v1/results/"+digest, &out); err != nil {
+		return nil, err
+	}
+	if err := verifyRun(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Health fetches /healthz — also the cheap reachability probe the -remote
+// fallbacks use.
+func (c *Client) Health(ctx context.Context) (*proto.Health, error) {
+	var out proto.Health
+	if err := c.getJSON(ctx, "/healthz", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Ping probes reachability with a short deadline.
+func (c *Client) Ping(ctx context.Context) error {
+	ctx, cancel := context.WithTimeout(ctx, 3*time.Second)
+	defer cancel()
+	_, err := c.Health(ctx)
+	return err
+}
+
+// Metrics fetches /metricsz.
+func (c *Client) Metrics(ctx context.Context) (*proto.Metrics, error) {
+	var out proto.Metrics
+	if err := c.getJSON(ctx, "/metricsz", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Matrix requests a model × application fan-out, relaying each SSE
+// progress event to onProgress (may be nil) and returning the terminal
+// result. Every cell's result is digest-verified.
+func (c *Client) Matrix(ctx context.Context, req proto.MatrixRequest, onProgress func(proto.Progress)) (*proto.MatrixResponse, error) {
+	b, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/matrix", bytes.NewReader(b))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set("Accept", "text/event-stream")
+	resp, err := c.hc.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeErr(resp)
+	}
+
+	var out *proto.MatrixResponse
+	err = readSSE(resp.Body, func(event string, data []byte) error {
+		switch event {
+		case "progress":
+			if onProgress != nil {
+				var p proto.Progress
+				if err := json.Unmarshal(data, &p); err != nil {
+					return fmt.Errorf("client: bad progress event: %w", err)
+				}
+				onProgress(p)
+			}
+		case "error":
+			var e proto.Error
+			if err := json.Unmarshal(data, &e); err != nil || e.Error == "" {
+				return fmt.Errorf("client: server reported an unparseable error")
+			}
+			return fmt.Errorf("server: %s", e.Error)
+		case "result":
+			var m proto.MatrixResponse
+			if err := json.Unmarshal(data, &m); err != nil {
+				return fmt.Errorf("client: bad result event: %w", err)
+			}
+			out = &m
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if out == nil {
+		return nil, fmt.Errorf("client: stream ended without a result event")
+	}
+	for i := range out.Cells {
+		cell := &out.Cells[i]
+		if cell.Result == nil {
+			return nil, fmt.Errorf("client: cell %s/%s missing result", cell.Model, cell.App)
+		}
+	}
+	return out, nil
+}
+
+// readSSE parses a Server-Sent-Events stream, invoking fn once per event.
+// Only the subset parrotd emits is supported: "event:" + single-line
+// "data:" blocks separated by blank lines.
+func readSSE(r io.Reader, fn func(event string, data []byte) error) error {
+	sc := bufio.NewScanner(r)
+	// Matrix result events carry the full cell set: allow large lines.
+	sc.Buffer(make([]byte, 64<<10), 64<<20)
+	event := ""
+	var data []byte
+	flush := func() error {
+		if event == "" && data == nil {
+			return nil
+		}
+		err := fn(event, data)
+		event, data = "", nil
+		return err
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if err := flush(); err != nil {
+				return err
+			}
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data = append([]byte(nil), strings.TrimPrefix(line, "data: ")...)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return flush()
+}

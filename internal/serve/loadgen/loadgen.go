@@ -1,0 +1,344 @@
+// Package loadgen is the serving layer's load-test harness: it replays
+// open- or closed-loop request streams of single-cell runs against a
+// parrotd instance and reports latency percentiles split by cache
+// disposition. Its reason to exist is the acceptance proof of the serving
+// layer — against a warm daemon, a repeated 44×7 matrix must be a ≥95%-hit
+// workload with sub-5ms cached-cell p99.
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"parrot/internal/serve/client"
+	"parrot/internal/serve/proto"
+	"parrot/internal/workload"
+)
+
+// allAppNames returns the full benchmark roster's names.
+func allAppNames() []string {
+	apps := workload.Apps()
+	out := make([]string, len(apps))
+	for i, p := range apps {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// Config parameterizes one load run.
+type Config struct {
+	Client *client.Client
+
+	// Mode is "closed" (Concurrency workers issuing back-to-back) or
+	// "open" (Poisson-free fixed-rate arrivals at RateHz, each served on
+	// its own goroutine — latency includes queueing, as production traffic
+	// would observe).
+	Mode string
+	// Concurrency is the closed-loop worker count (<=0 = 4). In open-loop
+	// mode it bounds in-flight requests (<=0 = 512).
+	Concurrency int
+	// RateHz is the open-loop arrival rate (<=0 = 50/s).
+	RateHz float64
+
+	// Requests stops after this many issued requests (<=0: Duration rules).
+	Requests int
+	// Duration stops after this wall time (<=0 = 10s when Requests unset).
+	Duration time.Duration
+
+	// Models/Apps name the cell set cycled through (empty = all seven
+	// models / full 44-app roster — the paper's matrix). The stream walks a
+	// deterministic Seed-shuffled permutation of the cells, repeating.
+	Models []string
+	Apps   []string
+	Insts  int
+	Seed   int64
+}
+
+// Percentiles summarizes a latency population (microseconds).
+type Percentiles struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"meanUs"`
+	P50  float64 `json:"p50Us"`
+	P90  float64 `json:"p90Us"`
+	P99  float64 `json:"p99Us"`
+	P999 float64 `json:"p999Us"`
+	Max  float64 `json:"maxUs"`
+}
+
+// Report is the outcome of one load run.
+type Report struct {
+	Mode        string  `json:"mode"`
+	Requests    int     `json:"requests"`
+	Errors      int     `json:"errors"`
+	CacheHits   int     `json:"cacheHits"`
+	HitRate     float64 `json:"hitRate"`
+	ElapsedMs   int64   `json:"elapsedMs"`
+	Throughput  float64 `json:"requestsPerSec"`
+	DistinctMod int     `json:"distinctModels"`
+	DistinctApp int     `json:"distinctApps"`
+
+	// All/Cached/Uncached split the latency population by cache
+	// disposition: the acceptance gate is on Cached.P99.
+	All      Percentiles `json:"latency"`
+	Cached   Percentiles `json:"cachedLatency"`
+	Uncached Percentiles `json:"uncachedLatency"`
+}
+
+type sample struct {
+	us     float64
+	cached bool
+	err    bool
+}
+
+// Run executes the configured load against the server.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	if cfg.Client == nil {
+		return nil, fmt.Errorf("loadgen: no client")
+	}
+	mode := cfg.Mode
+	if mode == "" {
+		mode = "closed"
+	}
+	if mode != "closed" && mode != "open" {
+		return nil, fmt.Errorf("loadgen: unknown mode %q (closed or open)", mode)
+	}
+	if cfg.Requests <= 0 && cfg.Duration <= 0 {
+		cfg.Duration = 10 * time.Second
+	}
+
+	cells := cellStream(cfg)
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("loadgen: empty cell set")
+	}
+
+	var (
+		mu      sync.Mutex
+		samples []sample
+	)
+	record := func(s sample) {
+		mu.Lock()
+		samples = append(samples, s)
+		mu.Unlock()
+	}
+
+	runCtx := ctx
+	var cancel context.CancelFunc
+	if cfg.Duration > 0 {
+		runCtx, cancel = context.WithTimeout(ctx, cfg.Duration)
+		defer cancel()
+	}
+
+	issue := func(i int) {
+		req := cells[i%len(cells)]
+		start := time.Now()
+		resp, err := cfg.Client.Run(runCtx, req)
+		el := float64(time.Since(start).Microseconds())
+		if err != nil {
+			// Runs cut off by the load window are not service errors.
+			if runCtx.Err() != nil {
+				return
+			}
+			record(sample{us: el, err: true})
+			return
+		}
+		record(sample{us: el, cached: resp.Cached})
+	}
+
+	start := time.Now()
+	switch mode {
+	case "closed":
+		workers := cfg.Concurrency
+		if workers <= 0 {
+			workers = 4
+		}
+		var next int
+		var nmu sync.Mutex
+		take := func() (int, bool) {
+			nmu.Lock()
+			defer nmu.Unlock()
+			if cfg.Requests > 0 && next >= cfg.Requests {
+				return 0, false
+			}
+			i := next
+			next++
+			return i, true
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					if runCtx.Err() != nil {
+						return
+					}
+					i, ok := take()
+					if !ok {
+						return
+					}
+					issue(i)
+				}
+			}()
+		}
+		wg.Wait()
+
+	case "open":
+		rate := cfg.RateHz
+		if rate <= 0 {
+			rate = 50
+		}
+		bound := cfg.Concurrency
+		if bound <= 0 {
+			bound = 512
+		}
+		sem := make(chan struct{}, bound)
+		interval := time.Duration(float64(time.Second) / rate)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		var wg sync.WaitGroup
+		i := 0
+	loop:
+		for {
+			if cfg.Requests > 0 && i >= cfg.Requests {
+				break
+			}
+			select {
+			case <-runCtx.Done():
+				break loop
+			case <-ticker.C:
+				select {
+				case sem <- struct{}{}:
+					wg.Add(1)
+					go func(i int) {
+						defer wg.Done()
+						defer func() { <-sem }()
+						issue(i)
+					}(i)
+					i++
+				default:
+					// In-flight bound hit: the arrival is dropped and counted
+					// as an error — open-loop overload must be visible, not
+					// silently converted into closed-loop backpressure.
+					record(sample{err: true})
+				}
+			}
+		}
+		wg.Wait()
+	}
+	elapsed := time.Since(start)
+
+	return summarize(mode, cfg, samples, elapsed), nil
+}
+
+// cellStream expands the cell set into a deterministic shuffled request
+// ring.
+func cellStream(cfg Config) []proto.RunRequest {
+	models := cfg.Models
+	if len(models) == 0 {
+		models = []string{"N", "TN", "TON", "W", "TW", "TOW", "TOS"}
+	}
+	apps := cfg.Apps
+	if len(apps) == 0 {
+		apps = allAppNames()
+	}
+	var out []proto.RunRequest
+	for _, m := range models {
+		for _, a := range apps {
+			out = append(out, proto.RunRequest{Model: m, App: a, Insts: cfg.Insts})
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+func summarize(mode string, cfg Config, samples []sample, elapsed time.Duration) *Report {
+	r := &Report{
+		Mode:      mode,
+		Requests:  len(samples),
+		ElapsedMs: elapsed.Milliseconds(),
+	}
+	models := cfg.Models
+	if len(models) == 0 {
+		r.DistinctMod = 7
+	} else {
+		r.DistinctMod = len(models)
+	}
+	if len(cfg.Apps) == 0 {
+		r.DistinctApp = len(allAppNames())
+	} else {
+		r.DistinctApp = len(cfg.Apps)
+	}
+	var all, hit, miss []float64
+	for _, s := range samples {
+		if s.err {
+			r.Errors++
+			continue
+		}
+		all = append(all, s.us)
+		if s.cached {
+			r.CacheHits++
+			hit = append(hit, s.us)
+		} else {
+			miss = append(miss, s.us)
+		}
+	}
+	if ok := len(all); ok > 0 {
+		r.HitRate = float64(r.CacheHits) / float64(ok)
+	}
+	if elapsed > 0 {
+		r.Throughput = float64(len(samples)) / elapsed.Seconds()
+	}
+	r.All = percentiles(all)
+	r.Cached = percentiles(hit)
+	r.Uncached = percentiles(miss)
+	return r
+}
+
+func percentiles(us []float64) Percentiles {
+	p := Percentiles{N: len(us)}
+	if len(us) == 0 {
+		return p
+	}
+	sort.Float64s(us)
+	sum := 0.0
+	for _, v := range us {
+		sum += v
+	}
+	at := func(q float64) float64 {
+		i := int(q * float64(len(us)-1))
+		return us[i]
+	}
+	p.Mean = sum / float64(len(us))
+	p.P50 = at(0.50)
+	p.P90 = at(0.90)
+	p.P99 = at(0.99)
+	p.P999 = at(0.999)
+	p.Max = us[len(us)-1]
+	return p
+}
+
+// String renders the report as the harness's human summary.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s-loop load: %d requests (%d errors) over %d models × %d apps in %.2fs  (%.1f req/s)\n",
+		r.Mode, r.Requests, r.Errors, r.DistinctMod, r.DistinctApp,
+		float64(r.ElapsedMs)/1000, r.Throughput)
+	fmt.Fprintf(&b, "  cache hit rate %.1f%% (%d/%d)\n", 100*r.HitRate, r.CacheHits, r.Requests-r.Errors)
+	row := func(name string, p Percentiles) {
+		if p.N == 0 {
+			return
+		}
+		fmt.Fprintf(&b, "  %-9s n=%-6d p50 %8.0fµs  p90 %8.0fµs  p99 %8.0fµs  p99.9 %8.0fµs  max %8.0fµs\n",
+			name, p.N, p.P50, p.P90, p.P99, p.P999, p.Max)
+	}
+	row("all", r.All)
+	row("cached", r.Cached)
+	row("uncached", r.Uncached)
+	return b.String()
+}

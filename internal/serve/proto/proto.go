@@ -1,0 +1,159 @@
+// Package proto defines the wire types of the parrotd serving API — the
+// JSON request/response bodies of /v1/run, /v1/matrix (and its SSE progress
+// events), /v1/results/{digest}, /healthz and /metricsz. The daemon, the
+// client library and every CLI (parrotctl, parrotload, parrotsim -remote,
+// parrotbench -remote) share these structs, so the wire format has exactly
+// one definition.
+package proto
+
+import "parrot/internal/core"
+
+// Priority names of RunRequest.Priority.
+const (
+	PriorityInteractive = "interactive" // default: single-cell, latency-sensitive
+	PriorityBatch       = "batch"       // matrix fan-out, throughput-oriented
+)
+
+// RunRequest asks for one simulation cell. Model and App are resolved
+// server-side against the paper's model set and benchmark roster; the
+// server canonicalizes the pair plus Insts into a RunSpec and serves the
+// cell from cache when its digest is already resident.
+type RunRequest struct {
+	Model string `json:"model"`
+	App   string `json:"app"`
+	// Insts is the dynamic instruction budget (0 = profile default).
+	Insts int `json:"insts,omitempty"`
+	// Priority selects the scheduler queue ("interactive" default, "batch").
+	Priority string `json:"priority,omitempty"`
+	// TimeoutMs bounds the end-to-end wait (0 = server default).
+	TimeoutMs int `json:"timeoutMs,omitempty"`
+}
+
+// RunResponse returns one simulation cell.
+type RunResponse struct {
+	// Digest is the content address of the cell (RunSpec digest).
+	Digest string `json:"digest"`
+	// Cached reports whether the cell was served from the result cache
+	// without touching the worker fleet.
+	Cached bool `json:"cached"`
+	// ResultDigest is the canonical digest of Result, letting clients verify
+	// transport integrity end-to-end.
+	ResultDigest string `json:"resultDigest"`
+	// ElapsedUs is the server-side handling time in microseconds.
+	ElapsedUs int64        `json:"elapsedUs"`
+	Result    *core.Result `json:"result"`
+}
+
+// MatrixRequest asks for a model × application fan-out. Empty slices mean
+// the full set (all seven models / the 44-application roster).
+type MatrixRequest struct {
+	Models []string `json:"models,omitempty"`
+	Apps   []string `json:"apps,omitempty"`
+	Insts  int      `json:"insts,omitempty"`
+	// TimeoutMs bounds the whole matrix (0 = server default).
+	TimeoutMs int `json:"timeoutMs,omitempty"`
+}
+
+// Progress is the SSE "progress" event payload of /v1/matrix: one event per
+// completed cell, done strictly increasing 1..total (mirroring the
+// experiments.Config.Progress contract).
+type Progress struct {
+	Done      int   `json:"done"`
+	Total     int   `json:"total"`
+	ElapsedUs int64 `json:"elapsedUs"`
+	EtaUs     int64 `json:"etaUs"`
+	// Cached reports whether the just-completed cell came from cache.
+	Cached bool `json:"cached"`
+}
+
+// Cell is one (model, application) result of a matrix response.
+type Cell struct {
+	Model  string       `json:"model"`
+	App    string       `json:"app"`
+	Digest string       `json:"digest"` // RunSpec digest (content address)
+	Cached bool         `json:"cached"`
+	Result *core.Result `json:"result"`
+}
+
+// MatrixResponse is the SSE "result" event payload of /v1/matrix: the full
+// cell set plus the matrix-level digest computed server-side with the same
+// canonical hashing as an in-process experiments.Run.
+type MatrixResponse struct {
+	// Digest is the matrix-level golden digest (experiments.Results.Digest).
+	Digest  string  `json:"digest"`
+	PMax    float64 `json:"pMax"`
+	PMaxApp string  `json:"pMaxApp"`
+	Insts   int     `json:"instsPerApp"`
+	// CachedCells counts cells served from cache; TotalCells is the fan-out
+	// size — CachedCells/TotalCells is the warm-matrix hit rate the CI smoke
+	// test asserts on.
+	CachedCells int    `json:"cachedCells"`
+	TotalCells  int    `json:"totalCells"`
+	ElapsedUs   int64  `json:"elapsedUs"`
+	Cells       []Cell `json:"cells"`
+}
+
+// Error is the JSON error body of non-2xx responses.
+type Error struct {
+	Error string `json:"error"`
+}
+
+// Health is the /healthz body.
+type Health struct {
+	OK         bool   `json:"ok"`
+	Draining   bool   `json:"draining"`
+	UptimeMs   int64  `json:"uptimeMs"`
+	SimVersion int    `json:"simVersion"`
+	GoVersion  string `json:"goVersion"`
+}
+
+// CacheMetrics exposes result-cache counters.
+type CacheMetrics struct {
+	Hits       uint64  `json:"hits"`
+	Misses     uint64  `json:"misses"`
+	MemHits    uint64  `json:"memHits"`
+	DiskHits   uint64  `json:"diskHits"`
+	Puts       uint64  `json:"puts"`
+	Evictions  uint64  `json:"evictions"`
+	DiskErrors uint64  `json:"diskErrors"`
+	Entries    int     `json:"entries"`
+	Bytes      int64   `json:"bytes"`
+	Budget     int64   `json:"budgetBytes"`
+	HitRate    float64 `json:"hitRate"` // hits / (hits+misses)
+	// EntryBytesMean is the mean encoded entry size over all insertions
+	// (from the cache's occupancy histogram).
+	EntryBytesMean float64 `json:"entryBytesMean"`
+}
+
+// SchedMetrics exposes scheduler/worker-fleet counters.
+type SchedMetrics struct {
+	Workers          int     `json:"workers"`
+	Running          int     `json:"running"`
+	InteractiveDepth int     `json:"interactiveQueueDepth"`
+	BatchDepth       int     `json:"batchQueueDepth"`
+	Completed        uint64  `json:"completed"`
+	Deduped          uint64  `json:"deduped"`
+	Rejected         uint64  `json:"rejected"`
+	Abandoned        uint64  `json:"abandoned"`
+	CacheHits        uint64  `json:"cacheHits"`
+	SimInsts         uint64  `json:"simInsts"`
+	BusyUs           int64   `json:"busyUs"`
+	SimMIPS          float64 `json:"simMIPS"`     // simulated Minsts per busy second
+	Utilization      float64 `json:"utilization"` // busy time / (workers × uptime)
+}
+
+// PoolMetrics exposes machine-pool counters.
+type PoolMetrics struct {
+	Gets     uint64 `json:"gets"`
+	Reuses   uint64 `json:"reuses"`
+	Puts     uint64 `json:"puts"`
+	Discards uint64 `json:"discards"`
+	Size     int    `json:"size"`
+}
+
+// Metrics is the /metricsz body.
+type Metrics struct {
+	Cache CacheMetrics `json:"cache"`
+	Sched SchedMetrics `json:"sched"`
+	Pool  PoolMetrics  `json:"pool"`
+}

@@ -1,0 +1,385 @@
+// Package sched is the serving layer's job scheduler: it turns incoming
+// RunSpecs into simulation work on a pooled-machine worker fleet, with
+//
+//   - content-addressed fast path: specs already resident in the result
+//     cache return without queueing;
+//   - singleflight deduplication: concurrent identical specs (same digest)
+//     share one execution — the hallmark of a thundering-herd matrix
+//     workload where many clients ask for the same 44×7 cells;
+//   - two priority classes: interactive (single-cell, latency-sensitive)
+//     jobs always pop before batch (matrix fan-out) jobs;
+//   - model-affinity batching: among batch jobs, a worker prefers cells on
+//     the machine model it already holds, so the pooled machine is Reset
+//     and reused instead of re-fetched per cell (the same locality trick
+//     the experiments fan-out uses via model-major job order);
+//   - bounded queues with explicit rejection (ErrQueueFull) instead of
+//     unbounded buffering, and per-caller context cancellation: a waiter
+//     that gives up stops waiting immediately, and a queued job whose
+//     every waiter has gone away is abandoned without simulating.
+package sched
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"time"
+
+	"parrot/internal/config"
+	"parrot/internal/core"
+	"parrot/internal/experiments"
+	"parrot/internal/serve/cache"
+)
+
+// Priority selects the queue class of a job.
+type Priority uint8
+
+// Priority classes, highest first.
+const (
+	Interactive Priority = iota
+	Batch
+)
+
+// Sentinel errors of Submit.
+var (
+	ErrQueueFull = errors.New("sched: queue full")
+	ErrDraining  = errors.New("sched: draining")
+)
+
+// Config parameterizes a scheduler.
+type Config struct {
+	// Workers is the fleet size (<=0 = GOMAXPROCS).
+	Workers int
+	// QueueCap bounds each priority queue (<=0 = 4096 jobs).
+	QueueCap int
+	// Cache, when non-nil, front-ends every submit and receives every
+	// computed result.
+	Cache *cache.Cache
+	// Pool supplies machines (nil = core.DefaultPool). Workers hold one
+	// machine per distinct model locally and return them on shutdown.
+	Pool *core.Pool
+}
+
+// Stats counts scheduler traffic.
+type Stats struct {
+	Submitted uint64 // Submit calls
+	CacheHits uint64 // served from cache without queueing
+	Deduped   uint64 // joined an in-flight identical spec
+	Enqueued  uint64 // entered a queue
+	Rejected  uint64 // bounced on a full queue
+	Completed uint64 // simulations actually executed
+	Abandoned uint64 // queued jobs dropped because every waiter left
+
+	SimInsts uint64        // dynamic instructions simulated (measured window)
+	BusyTime time.Duration // cumulative worker time spent simulating
+
+	Running          int // workers currently simulating
+	InteractiveDepth int
+	BatchDepth       int
+	Workers          int
+}
+
+// SimMIPS returns simulated measured instructions per busy-second, in
+// millions — the fleet's aggregate throughput.
+func (s Stats) SimMIPS() float64 {
+	if s.BusyTime <= 0 {
+		return 0
+	}
+	return float64(s.SimInsts) / s.BusyTime.Seconds() / 1e6
+}
+
+// flight is one in-flight digest: every concurrent waiter of the same spec
+// blocks on done.
+type flight struct {
+	done    chan struct{}
+	res     *core.Result
+	err     error
+	waiters int // live waiters; 0 allows abandonment while queued
+}
+
+// job is one queued unit of work.
+type job struct {
+	spec   experiments.RunSpec
+	digest string
+	fl     *flight
+}
+
+// Sched dispatches RunSpecs onto a worker fleet. All methods are safe for
+// concurrent use.
+type Sched struct {
+	cfg      Config
+	pool     *core.Pool
+	mu       sync.Mutex
+	cond     *sync.Cond
+	qi, qb   []*job // interactive / batch FIFOs
+	inflight map[string]*flight
+	draining bool
+	stats    Stats
+	wg       sync.WaitGroup
+
+	// testHookBeforeRun, when set, runs on the worker goroutine after a job
+	// is popped and before it simulates — the seam the dedup/priority tests
+	// use to hold a worker busy deterministically.
+	testHookBeforeRun func(spec experiments.RunSpec)
+}
+
+// New builds a scheduler and starts its worker fleet.
+func New(cfg Config) *Sched {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 4096
+	}
+	s := &Sched{
+		cfg:      cfg,
+		pool:     cfg.Pool,
+		inflight: make(map[string]*flight),
+	}
+	if s.pool == nil {
+		s.pool = core.DefaultPool
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.stats.Workers = cfg.Workers
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Pool returns the machine pool backing the fleet.
+func (s *Sched) Pool() *core.Pool { return s.pool }
+
+// Submit resolves one spec: cache fast path, then singleflight join or
+// enqueue. It blocks until the cell is available, the context is done, or
+// the scheduler rejects the job. The second return reports whether the
+// result came from cache without simulating.
+//
+// Cancellation semantics: a caller whose ctx ends stops waiting
+// immediately (the flight keeps running if other waiters remain, and a
+// finished result still enters the cache). A job still queued when its
+// last waiter leaves is abandoned without simulating.
+func (s *Sched) Submit(ctx context.Context, spec experiments.RunSpec) (*core.Result, bool, error) {
+	return s.submit(ctx, spec, Interactive)
+}
+
+// SubmitBatch is Submit on the batch (lower-priority, model-affine) queue.
+func (s *Sched) SubmitBatch(ctx context.Context, spec experiments.RunSpec) (*core.Result, bool, error) {
+	return s.submit(ctx, spec, Batch)
+}
+
+func (s *Sched) submit(ctx context.Context, spec experiments.RunSpec, pri Priority) (*core.Result, bool, error) {
+	spec = spec.Normalize()
+	digest := spec.Digest()
+
+	s.mu.Lock()
+	s.stats.Submitted++
+	s.mu.Unlock()
+
+	if c := s.cfg.Cache; c != nil {
+		if res, ok := c.Get(digest); ok {
+			s.mu.Lock()
+			s.stats.CacheHits++
+			s.mu.Unlock()
+			return res, true, nil
+		}
+	}
+
+	s.mu.Lock()
+	if fl, ok := s.inflight[digest]; ok {
+		fl.waiters++
+		s.stats.Deduped++
+		s.mu.Unlock()
+		return s.wait(ctx, fl)
+	}
+	if s.draining {
+		s.mu.Unlock()
+		return nil, false, ErrDraining
+	}
+	q := &s.qb
+	if pri == Interactive {
+		q = &s.qi
+	}
+	if len(*q) >= s.cfg.QueueCap {
+		s.stats.Rejected++
+		s.mu.Unlock()
+		return nil, false, ErrQueueFull
+	}
+	fl := &flight{done: make(chan struct{}), waiters: 1}
+	s.inflight[digest] = fl
+	*q = append(*q, &job{spec: spec, digest: digest, fl: fl})
+	s.stats.Enqueued++
+	s.cond.Signal()
+	s.mu.Unlock()
+	return s.wait(ctx, fl)
+}
+
+// wait blocks on the flight or the caller's context, whichever ends first.
+func (s *Sched) wait(ctx context.Context, fl *flight) (*core.Result, bool, error) {
+	select {
+	case <-fl.done:
+		return fl.res, false, fl.err
+	case <-ctx.Done():
+		s.mu.Lock()
+		fl.waiters--
+		s.mu.Unlock()
+		return nil, false, ctx.Err()
+	}
+}
+
+// next pops the next job: interactive first, then batch with model
+// affinity — if the worker's resident model matches a batch job within the
+// scan window, that job is taken out of order, so consecutive cells of the
+// same model land on the same pooled machine. Returns nil when the
+// scheduler is draining and both queues are empty.
+func (s *Sched) next(last config.Model, haveLast bool) *job {
+	const affinityScan = 64 // bounded out-of-order scan window
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if len(s.qi) > 0 {
+			j := s.qi[0]
+			s.qi = popFront(s.qi)
+			s.stats.Running++
+			return j
+		}
+		if len(s.qb) > 0 {
+			idx := 0
+			if haveLast {
+				n := len(s.qb)
+				if n > affinityScan {
+					n = affinityScan
+				}
+				for i := 0; i < n; i++ {
+					if s.qb[i].spec.Model == last {
+						idx = i
+						break
+					}
+				}
+			}
+			j := s.qb[idx]
+			s.qb = append(s.qb[:idx], s.qb[idx+1:]...)
+			s.stats.Running++
+			return j
+		}
+		if s.draining {
+			return nil
+		}
+		s.cond.Wait()
+	}
+}
+
+func popFront(q []*job) []*job {
+	copy(q, q[1:])
+	q[len(q)-1] = nil
+	return q[:len(q)-1]
+}
+
+// worker is one fleet member: it holds one machine per distinct model
+// (drawn from the pool on first use, Reset between runs) and returns them
+// all on shutdown.
+func (s *Sched) worker() {
+	defer s.wg.Done()
+	local := make(map[config.Model]*core.Machine)
+	defer func() {
+		for _, m := range local {
+			s.pool.Put(m)
+		}
+	}()
+	var last config.Model
+	haveLast := false
+	for {
+		j := s.next(last, haveLast)
+		if j == nil {
+			return
+		}
+		if s.testHookBeforeRun != nil {
+			s.testHookBeforeRun(j.spec)
+		}
+
+		// A queued job whose waiters all left is abandoned: nobody wants the
+		// result and the cache gains little from speculative cells.
+		s.mu.Lock()
+		abandoned := j.fl.waiters == 0
+		if abandoned {
+			s.stats.Abandoned++
+			s.stats.Running--
+			delete(s.inflight, j.digest)
+			j.fl.err = context.Canceled
+			close(j.fl.done)
+		}
+		s.mu.Unlock()
+		if abandoned {
+			continue
+		}
+
+		m := local[j.spec.Model]
+		if m == nil {
+			m = s.pool.Get(j.spec.Model) // arrives reset
+			local[j.spec.Model] = m
+		} else {
+			m.Reset()
+		}
+		last, haveLast = j.spec.Model, true
+
+		start := time.Now()
+		res := core.RunWarmOn(m, j.spec.App, j.spec.Insts)
+		busy := time.Since(start)
+
+		if c := s.cfg.Cache; c != nil {
+			// Disk write errors are non-fatal: the result is still returned
+			// and memory-cached; the cache counts the error.
+			_ = c.Put(j.digest, res)
+		}
+
+		s.mu.Lock()
+		s.stats.Completed++
+		s.stats.SimInsts += res.Insts
+		s.stats.BusyTime += busy
+		s.stats.Running--
+		delete(s.inflight, j.digest)
+		j.fl.res = res
+		close(j.fl.done)
+		s.mu.Unlock()
+	}
+}
+
+// Drain stops accepting new jobs, lets queued and running work finish, and
+// returns when the fleet has shut down or the context ends. Idempotent.
+func (s *Sched) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	doneCh := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(doneCh)
+	}()
+	select {
+	case <-doneCh:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether Drain has been initiated.
+func (s *Sched) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Sched) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.InteractiveDepth = len(s.qi)
+	st.BatchDepth = len(s.qb)
+	return st
+}

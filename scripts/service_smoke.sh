@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# service_smoke.sh — end-to-end smoke test of the serving layer.
+#
+# Starts parrotd on a random port, drives a small model × application
+# matrix through parrotctl twice, and asserts the two service guarantees
+# the serving layer makes:
+#
+#   1. bit-exactness: both passes produce the same canonical matrix digest
+#      (-expect-digest), which experiments.Assemble derives exactly as an
+#      in-process experiments.Run would;
+#   2. cache effectiveness: the second (warm) pass is served ≥95% from the
+#      content-addressed cache (-min-cached 0.95) — the steady-state claim
+#      of the simulation-as-a-service design.
+#
+# Then parrotload replays the warm cell set closed-loop and gates the
+# cached-cell p99 latency.
+#
+# Environment knobs (defaults tuned for CI):
+#   SMOKE_MODELS   model subset        (default: all seven)
+#   SMOKE_APPS     application subset  (default: gcc,gzip,swim,word,flash,dotnet-num1)
+#   SMOKE_N        insts per cell      (default: 20000)
+#   SMOKE_MIN_HIT  load-phase hit gate (default: 0.95)
+#   SMOKE_P99      cached p99 budget   (default: 25ms — generous for shared CI runners;
+#                                       the paper-grade 5ms claim is measured locally)
+set -euo pipefail
+
+MODELS="${SMOKE_MODELS:-}"
+APPS="${SMOKE_APPS:-gcc,gzip,swim,word,flash,dotnet-num1}"
+N="${SMOKE_N:-20000}"
+MIN_HIT="${SMOKE_MIN_HIT:-0.95}"
+P99="${SMOKE_P99:-25ms}"
+
+cd "$(dirname "$0")/.."
+
+workdir="$(mktemp -d)"
+cleanup() {
+  if [[ -n "${pd_pid:-}" ]] && kill -0 "$pd_pid" 2>/dev/null; then
+    kill -TERM "$pd_pid" 2>/dev/null || true
+    wait "$pd_pid" 2>/dev/null || true
+  fi
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== building serving binaries"
+go build -o "$workdir/parrotd" ./cmd/parrotd
+go build -o "$workdir/parrotctl" ./cmd/parrotctl
+go build -o "$workdir/parrotload" ./cmd/parrotload
+
+echo "== starting parrotd on a random port"
+"$workdir/parrotd" -addr 127.0.0.1:0 -addrfile "$workdir/addr" -prewarm \
+  >"$workdir/parrotd.log" 2>&1 &
+pd_pid=$!
+
+for _ in $(seq 1 100); do
+  [[ -s "$workdir/addr" ]] && break
+  kill -0 "$pd_pid" 2>/dev/null || { cat "$workdir/parrotd.log"; echo "parrotd exited early" >&2; exit 1; }
+  sleep 0.1
+done
+[[ -s "$workdir/addr" ]] || { echo "parrotd never bound" >&2; exit 1; }
+export PARROTD="http://$(cat "$workdir/addr")"
+echo "   $PARROTD"
+
+"$workdir/parrotctl" health
+
+echo "== cold matrix pass"
+"$workdir/parrotctl" matrix -models "$MODELS" -apps "$APPS" -n "$N" \
+  | tee "$workdir/cold.out"
+digest="$(sed -n 's/^digest: //p' "$workdir/cold.out")"
+[[ -n "$digest" ]] || { echo "no digest in cold pass output" >&2; exit 1; }
+
+echo "== warm matrix pass (must be ≥95% cached and byte-identical)"
+"$workdir/parrotctl" matrix -models "$MODELS" -apps "$APPS" -n "$N" \
+  -expect-digest "$digest" -min-cached 0.95
+
+echo "== closed-loop load against the warm cache"
+"$workdir/parrotload" -mode closed -concurrency 8 -requests 400 \
+  -models "$MODELS" -apps "$APPS" -n "$N" \
+  -min-hit "$MIN_HIT" -max-cached-p99 "$P99"
+
+echo "== graceful drain"
+kill -TERM "$pd_pid"
+wait "$pd_pid"
+unset pd_pid
+
+echo "service smoke: OK (digest $digest)"
