@@ -11,13 +11,16 @@ import (
 )
 
 // runBaselineCheck is the CI perf-regression gate: it re-measures the steady
-// (pooled, program-cached) full-matrix pass and compares its sim-MIPS against
-// the committed BENCH_simkernel.json. A regression beyond maxRegress (e.g.
-// 0.10 = 10%) fails with a non-zero exit so kernel slowdowns are caught in
-// review rather than discovered after merging.
+// (pooled, program-cached, memoized) full-matrix pass and compares its
+// sim-MIPS against the committed BENCH_simkernel.json. A regression beyond
+// tolerance (e.g. 0.10 = 10%) fails with a non-zero exit so kernel slowdowns
+// are caught in review rather than discovered after merging; on success the
+// measured-vs-baseline delta is still printed so drift stays visible in CI
+// logs long before it trips the gate.
 //
 //	go run ./cmd/parrotbench -checkbaseline BENCH_simkernel.json -n 50000
-func runBaselineCheck(path string, n int, maxRegress float64, out io.Writer) error {
+//	go run ./cmd/parrotbench -checkbaseline BENCH_simkernel.json -tolerance 0.05
+func runBaselineCheck(path string, n int, tolerance float64, out io.Writer) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("baseline: %w", err)
@@ -68,11 +71,12 @@ func runBaselineCheck(path string, n int, maxRegress float64, out io.Writer) err
 
 	ratio := mips / ref.SimMIPS
 	fmt.Fprintf(out, "steady matrix pass: %.3f sim-MIPS (baseline %.3f, ratio %.3f, floor %.3f)\n",
-		mips, ref.SimMIPS, ratio, 1-maxRegress)
-	if ratio < 1-maxRegress {
+		mips, ref.SimMIPS, ratio, 1-tolerance)
+	if ratio < 1-tolerance {
 		return fmt.Errorf("sim-MIPS regression: %.3f is %.1f%% below baseline %.3f (max allowed %.0f%%)",
-			mips, (1-ratio)*100, ref.SimMIPS, maxRegress*100)
+			mips, (1-ratio)*100, ref.SimMIPS, tolerance*100)
 	}
-	fmt.Fprintln(out, "perf gate: OK")
+	fmt.Fprintf(out, "perf gate: OK (%+.1f%% vs baseline, tolerance %.0f%%)\n",
+		(ratio-1)*100, tolerance*100)
 	return nil
 }

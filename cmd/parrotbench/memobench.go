@@ -1,0 +1,135 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"reflect"
+	"runtime"
+	"time"
+
+	"parrot"
+	"parrot/internal/config"
+	"parrot/internal/core"
+)
+
+// memoBenchReport measures the hot-window memoization fast path across
+// instruction-count scales on one (model, application) pair:
+//
+//   - exact:  the cycle engine with memoization disabled;
+//   - record: the first memoized run (simulates exactly, records windows);
+//   - replay: subsequent memoized runs of the same spec (O(windows) delta
+//     folding instead of O(insts) simulation).
+//
+// Replay cost is independent of the instruction count while exact cost is
+// linear in it, so Speedup grows with -n — the scaling curve EXPERIMENTS.md
+// records. Every point also cross-checks that the replayed Result is
+// structurally identical to the exact one; a mismatch fails the run.
+//
+//	go run ./cmd/parrotbench -memobench -n 30000
+type memoBenchReport struct {
+	Benchmark string           `json:"benchmark"`
+	Date      string           `json:"date"`
+	GoVersion string           `json:"go"`
+	Model     string           `json:"model"`
+	App       string           `json:"app"`
+	Points    []memoBenchPoint `json:"points"`
+}
+
+type memoBenchPoint struct {
+	Insts          int     `json:"insts"`
+	ExactSeconds   float64 `json:"exact_seconds"`
+	RecordSeconds  float64 `json:"record_seconds"`
+	ReplaySeconds  float64 `json:"replay_seconds"`
+	ExactSimMIPS   float64 `json:"exact_sim_mips"`
+	ReplaySimMIPS  float64 `json:"replay_sim_mips"`
+	Speedup        float64 `json:"speedup"`         // exact / replay wall time
+	RecordOverhead float64 `json:"record_overhead"` // record/exact - 1
+	Windows        int     `json:"windows"`         // windows in the replayed chain
+	Verified       bool    `json:"verified"`        // replay Result == exact Result
+}
+
+// runMemoBench measures record/replay against the exact engine at n, 2n and
+// 4n instructions and writes the JSON report.
+func runMemoBench(n int, out io.Writer) error {
+	pm, err := parrot.GetModel(parrot.TON)
+	if err != nil {
+		return err
+	}
+	app, err := parrot.AppByName("flash")
+	if err != nil {
+		return err
+	}
+	model := config.Model(pm)
+
+	rep := memoBenchReport{
+		Benchmark: "memobench",
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		Model:     string(parrot.TON),
+		App:       "flash",
+	}
+
+	for _, insts := range []int{n, 2 * n, 4 * n} {
+		// Exact engine: best of two passes on a held memo-off machine (the
+		// first pass also pays program synthesis for this stream length).
+		exact := core.New(model)
+		exact.EnableMemo(false)
+		var exactSec float64
+		var exactRes *core.Result
+		for i := 0; i < 2; i++ {
+			exact.Reset()
+			start := time.Now()
+			exactRes = core.RunWarmOn(exact, app, insts)
+			if s := time.Since(start).Seconds(); i == 0 || s < exactSec {
+				exactSec = s
+			}
+		}
+
+		// Memoized machine: first run records, later runs replay.
+		memo := core.New(model)
+		start := time.Now()
+		recordRes := core.RunWarmOn(memo, app, insts)
+		recordSec := time.Since(start).Seconds()
+
+		var replaySec float64
+		var replayRes *core.Result
+		for i := 0; i < 3; i++ {
+			memo.Reset()
+			start = time.Now()
+			replayRes = core.RunWarmOn(memo, app, insts)
+			if s := time.Since(start).Seconds(); i == 0 || s < replaySec {
+				replaySec = s
+			}
+		}
+
+		ms := memo.MemoStats()
+		verified := reflect.DeepEqual(exactRes, replayRes) &&
+			reflect.DeepEqual(recordRes, replayRes)
+		if ms.RunsReplayed == 0 && !core.MemoDisabledByEnv() {
+			return fmt.Errorf("memobench: no replay occurred at %d insts (stats %+v)", insts, ms)
+		}
+		if !verified {
+			return fmt.Errorf("memobench: replayed result diverges from exact result at %d insts", insts)
+		}
+
+		measured := exactRes.Insts
+		pt := memoBenchPoint{
+			Insts:          insts,
+			ExactSeconds:   exactSec,
+			RecordSeconds:  recordSec,
+			ReplaySeconds:  replaySec,
+			ExactSimMIPS:   float64(measured) / exactSec / 1e6,
+			ReplaySimMIPS:  float64(measured) / replaySec / 1e6,
+			Speedup:        exactSec / replaySec,
+			RecordOverhead: recordSec/exactSec - 1,
+			Windows:        int(ms.Windows),
+			Verified:       verified,
+		}
+		rep.Points = append(rep.Points, pt)
+	}
+
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&rep)
+}

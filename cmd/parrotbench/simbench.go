@@ -17,24 +17,36 @@ import (
 // regressions are visible in review diffs. Regenerate with:
 //
 //	go run ./cmd/parrotbench -simbench -n 50000 > BENCH_simkernel.json
+//	go run ./cmd/parrotbench -simbench -n 50000 -procs 2 > BENCH_simkernel.json
 type simBenchReport struct {
 	Benchmark   string `json:"benchmark"`
 	Date        string `json:"date"`
 	GoVersion   string `json:"go"`
 	GOMAXPROCS  int    `json:"gomaxprocs"`
+	NumCPU      int    `json:"num_cpu"`
 	InstsPerApp int    `json:"insts_per_app"`
 	Apps        int    `json:"apps"`
 	Models      int    `json:"models"`
 
 	// MatrixPasses holds consecutive full-matrix runs. The first pass pays
-	// every compulsory cost (program synthesis, machine construction); later
-	// passes run entirely out of the machine pool and program cache, which
-	// is the regime the experiment driver and benchmarks operate in.
+	// every compulsory cost (program synthesis, machine construction) and
+	// records memo chains; the "steady" pass replays them, which is the
+	// regime the experiment driver, the perf gate and warm parrotd fleets
+	// operate in. "steady_nomemo" forces the exact cycle engine on the same
+	// warm pool — the memoization speedup is steady / steady_nomemo.
 	MatrixPasses []matrixPass `json:"matrix_passes"`
 
-	// SteadyState profiles repeated single simulations on a warm pool —
-	// the ~0 allocs/op gate for the slab-backed pipeline.
-	SteadyState steadyState `json:"steady_state"`
+	// ParallelEfficiency is set when a "parallel_nomemo" pass was recorded
+	// (-procs N): its sim-MIPS divided by N x the single-threaded
+	// steady_nomemo sim-MIPS. 1.0 = perfect scaling.
+	ParallelEfficiency float64 `json:"parallel_efficiency,omitempty"`
+
+	// SteadyState profiles repeated single simulations on a warm pool with
+	// memoization live (replay throughput); SteadyStateExact is the same
+	// loop on a memo-off machine — the ~0 allocs/op gate for the
+	// slab-backed pipeline, unchanged from earlier trees.
+	SteadyState      steadyState `json:"steady_state"`
+	SteadyStateExact steadyState `json:"steady_state_nomemo"`
 
 	Pool poolCounters `json:"pool"`
 
@@ -47,6 +59,11 @@ type simBenchReport struct {
 	// machines and slab pipeline, but the polling execution kernel) — the
 	// reference for the event-driven kernel's >=1.4x throughput gate.
 	PR1Baseline seedBaseline `json:"pr1_baseline"`
+
+	// PR4Baseline is the steady matrix pass at the PR 4 tree (event-driven
+	// kernel, no hot-window memoization) — the reference for the
+	// memoization fast path's >=2x steady-matrix gate.
+	PR4Baseline seedBaseline `json:"pr4_baseline"`
 
 	Notes string `json:"notes,omitempty"`
 }
@@ -85,8 +102,22 @@ var pollingKernelBaseline = seedBaseline{
 	AllocBytes:  1_554_432,
 }
 
+// eventKernelBaseline is the steady matrix pass measured at the PR 4 tree
+// (event-driven execution kernel, time-wheel writeback, idle fast-forward;
+// no hot-window memoization) on the same machine.
+var eventKernelBaseline = seedBaseline{
+	Description: "PR 4 tree steady matrix pass: event-driven kernel, no hot-window memoization",
+	InstsPerApp: 50_000,
+	WallSeconds: 3.421,
+	SimMIPS:     3.168,
+	Allocs:      4_335,
+	AllocBytes:  1_648_208,
+}
+
 type matrixPass struct {
-	Pass        string  `json:"pass"` // "cold" or "steady"
+	Pass        string  `json:"pass"` // cold | steady | steady_nomemo | parallel_nomemo
+	Memo        bool    `json:"memo"`
+	Procs       int     `json:"procs"`
 	WallSeconds float64 `json:"wall_seconds"`
 	SimMIPS     float64 `json:"sim_mips"`
 	Allocs      uint64  `json:"allocs"`
@@ -125,53 +156,94 @@ func (d *memDelta) stop() (allocs, bytes uint64) {
 	return m1.Mallocs - d.m0.Mallocs, m1.TotalAlloc - d.m0.TotalAlloc
 }
 
-// runSimBench measures the kernel and writes the JSON report.
-func runSimBench(n int, out io.Writer) error {
+// timedMatrixPass runs one full experiment matrix and records it.
+func timedMatrixPass(name string, cfg experiments.Config, procs int) (matrixPass, *experiments.Results) {
+	d := startMemDelta()
+	start := time.Now()
+	res := experiments.Run(cfg)
+	wall := time.Since(start).Seconds()
+	allocs, bytes := d.stop()
+	var insts uint64
+	for _, id := range res.Models() {
+		for _, p := range res.Apps() {
+			insts += res.Get(id, p.Name).Insts
+		}
+	}
+	return matrixPass{
+		Pass:        name,
+		Memo:        cfg.Memoize != experiments.MemoOff,
+		Procs:       procs,
+		WallSeconds: wall,
+		SimMIPS:     float64(insts) / wall / 1e6,
+		Allocs:      allocs,
+		AllocBytes:  bytes,
+	}, res
+}
+
+// runSimBench measures the kernel and writes the JSON report. procs > 1
+// adds a memo-off matrix pass at GOMAXPROCS=procs for the parallel-scaling
+// figure.
+func runSimBench(n, procs int, out io.Writer) error {
 	rep := simBenchReport{
 		Benchmark:    "simkernel",
 		Date:         time.Now().UTC().Format(time.RFC3339),
 		GoVersion:    runtime.Version(),
 		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		NumCPU:       runtime.NumCPU(),
 		InstsPerApp:  n,
 		Models:       len(config.All()),
 		SeedBaseline: preKernelBaseline,
 		PR1Baseline:  pollingKernelBaseline,
-		Notes: "matrix_passes[0] pays compulsory costs (program synthesis, machine construction); " +
-			"later passes reuse pooled machines and cached programs. steady_state is per complete " +
-			"warmup+measure simulation, allocations included.",
+		PR4Baseline:  eventKernelBaseline,
+		Notes: "matrix_passes[0] pays compulsory costs (program synthesis, machine construction) and records " +
+			"memo chains; the steady pass replays them. steady_nomemo forces the exact cycle engine on the " +
+			"same warm pool, so steady/steady_nomemo is the memoization speedup and steady_nomemo/pr4_baseline " +
+			"the kernel-only delta. steady_state is per complete warmup+measure simulation, allocations included.",
 	}
 
-	// Full experiment matrix, twice: cold then steady.
-	cfg := experiments.Config{Insts: n}
-	for pass, name := range []string{"cold", "steady"} {
-		d := startMemDelta()
-		start := time.Now()
-		res := experiments.Run(cfg)
-		wall := time.Since(start).Seconds()
-		allocs, bytes := d.stop()
-		var insts uint64
-		for _, id := range res.Models() {
-			for _, p := range res.Apps() {
-				insts += res.Get(id, p.Name).Insts
-			}
-		}
-		if pass == 0 {
+	// Full experiment matrix: cold (records), steady (replays), then the
+	// exact engine on the same warm pool.
+	memoCfg := experiments.Config{Insts: n}
+	exactCfg := experiments.Config{Insts: n, Memoize: experiments.MemoOff}
+	for _, pass := range []struct {
+		name string
+		cfg  experiments.Config
+	}{
+		{"cold", memoCfg},
+		{"steady", memoCfg},
+		{"steady_nomemo", exactCfg},
+	} {
+		mp, res := timedMatrixPass(pass.name, pass.cfg, runtime.GOMAXPROCS(0))
+		rep.MatrixPasses = append(rep.MatrixPasses, mp)
+		if rep.Apps == 0 {
 			rep.Apps = len(res.Apps())
 		}
-		rep.MatrixPasses = append(rep.MatrixPasses, matrixPass{
-			Pass:        name,
-			WallSeconds: wall,
-			SimMIPS:     float64(insts) / wall / 1e6,
-			Allocs:      allocs,
-			AllocBytes:  bytes,
-		})
 	}
 
-	// Steady-state single-run loop on a warm pool.
+	// Optional parallel pass: exact engine (memoization off, so the number
+	// reflects simulation scaling rather than replay scaling) at
+	// GOMAXPROCS=procs with a matching worker fan-out.
+	if procs > 1 {
+		old := runtime.GOMAXPROCS(procs)
+		parCfg := exactCfg
+		parCfg.Parallelism = procs
+		mp, _ := timedMatrixPass("parallel_nomemo", parCfg, procs)
+		runtime.GOMAXPROCS(old)
+		rep.MatrixPasses = append(rep.MatrixPasses, mp)
+		for _, p := range rep.MatrixPasses {
+			if p.Pass == "steady_nomemo" && p.SimMIPS > 0 {
+				rep.ParallelEfficiency = mp.SimMIPS / (float64(procs) * p.SimMIPS)
+			}
+		}
+	}
+
+	// Steady-state single-run loop on a warm pool: replay throughput first
+	// (memoization live via the default pool), then the exact engine on a
+	// caller-managed memo-off machine — the slab pipeline's allocs/op gate.
 	const ssRuns, ssInsts = 200, 30_000
 	m, _ := parrot.GetModel(parrot.TON)
 	app, _ := parrot.AppByName("flash")
-	parrot.Run(m, app, ssInsts) // prime
+	parrot.Run(m, app, ssInsts) // prime: records the chain
 	d := startMemDelta()
 	start := time.Now()
 	for i := 0; i < ssRuns; i++ {
@@ -180,6 +252,27 @@ func runSimBench(n int, out io.Writer) error {
 	wall := time.Since(start).Seconds()
 	allocs, bytes := d.stop()
 	rep.SteadyState = steadyState{
+		Model:            string(parrot.TON),
+		App:              "flash",
+		Insts:            ssInsts,
+		Runs:             ssRuns,
+		AllocsPerRun:     float64(allocs) / ssRuns,
+		AllocBytesPerRun: float64(bytes) / ssRuns,
+		SimMIPS:          float64(uint64(ssRuns)*ssInsts) / wall / 1e6,
+	}
+
+	exact := core.New(config.Model(m))
+	exact.EnableMemo(false)
+	core.RunWarmOn(exact, app, ssInsts) // prime
+	d = startMemDelta()
+	start = time.Now()
+	for i := 0; i < ssRuns; i++ {
+		exact.Reset()
+		core.RunWarmOn(exact, app, ssInsts)
+	}
+	wall = time.Since(start).Seconds()
+	allocs, bytes = d.stop()
+	rep.SteadyStateExact = steadyState{
 		Model:            string(parrot.TON),
 		App:              "flash",
 		Insts:            ssInsts,

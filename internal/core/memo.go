@@ -1,0 +1,505 @@
+package core
+
+import (
+	"os"
+
+	"parrot/internal/energy"
+	"parrot/internal/mem"
+	"parrot/internal/ooo"
+	"parrot/internal/tcache"
+	"parrot/internal/tpred"
+	"parrot/internal/workload"
+
+	"parrot/internal/branch"
+)
+
+// This file implements hot-window memoization: replaying the recorded
+// outcome of a previously simulated steady-state window instead of
+// re-simulating it cycle by cycle.
+//
+// The simulator is bit-deterministic: a machine reset to its constructed
+// state and fed the same (profile, instruction count, warmup) spec walks
+// exactly the same state trajectory every time — the property the pooled-
+// vs-fresh determinism tests and the 44×7 golden matrix digest enforce.
+// The synthetic workloads are RNG-driven (memory addresses, trip counts and
+// branch outcomes are fresh draws per episode), so no window repeats
+// *within* a run; exact repetition lives *across* runs of the same spec —
+// which is precisely what the experiment matrix, the CI perf gate and the
+// serving layer execute over and over.
+//
+// Recording: the first run of a spec snapshots, at deterministic
+// instruction-count boundaries, the delta of every result-relevant counter
+// (cycles, energy-event vectors, per-unit engine statistics, cache/
+// predictor/filter statistics) together with a fingerprint of the mutable
+// machine state at the boundary. Fingerprints are maintained from O(1)
+// dirty-set summaries — component mutation epochs, occupancy scalars and
+// the counter block itself — never by rescanning tables.
+//
+// Replay: when a machine re-enters a previously seen key — reset program
+// position plus matching live state fingerprint — the recorded window
+// deltas are folded into a local counter block, walking the fingerprint
+// chain link by link, and the Result is produced by the same pure
+// buildResult function the exact path uses. The live machine is never
+// mutated, so every fallback (key miss, probe attachment, fingerprint
+// divergence mid-chain) degrades to the exact cycle engine on a pristine
+// machine, and replayed results are byte-identical by construction.
+
+// memoEnvDisabled force-disables memoization process-wide when the
+// PARROT_NO_MEMO environment variable is non-empty (read once at startup).
+// CI uses it to run the full suite against the exact engine only.
+var memoEnvDisabled = os.Getenv("PARROT_NO_MEMO") != ""
+
+// memoMaxChains caps recorded chains per machine; the least recently used
+// chain is evicted. Chains are small (tens of KB), but pooled machines are
+// long-lived and serve unbounded job mixes.
+const memoMaxChains = 64
+
+// memoMinStep is the minimum window length in fed instructions. Shorter
+// windows would spend more on snapshot bookkeeping than they save.
+const memoMinStep = 4096
+
+// memoWindowsPerRun is the target number of windows across the measured
+// region, so chain size stays bounded as -insts grows.
+const memoWindowsPerRun = 48
+
+// runCounters is the complete block of result-relevant counters a run
+// accumulates: everything buildResult needs to produce a Result. All leaves
+// are uint64, so the block supports exact (wrapping) delta/sum arithmetic —
+// a recorded window delta folded onto the previous cumulative block
+// reproduces the next cumulative block bit-exactly.
+type runCounters struct {
+	cycles uint64 // measured cycles (clock - clockStart)
+
+	insts     uint64
+	hotInsts  uint64
+	coldInsts uint64
+
+	traceAborts  uint64
+	abortedUops  uint64
+	optCount     uint64
+	optExecs     uint64
+	uopsBefore   uint64
+	uopsAfter    uint64
+	critBefore   uint64
+	critAfter    uint64
+	buildCount   uint64
+	hotSegments  uint64
+	coldSegments uint64
+	dynUopsOrig  uint64
+	dynUopsOpt   uint64
+	dynCritOrig  uint64
+	dynCritOpt   uint64
+	optSeen      uint64
+
+	counts    energy.Counts
+	countsHot energy.Counts
+
+	cold ooo.Stats
+	hot  ooo.Stats // zero for unified models
+
+	l1i, l1d, l2 mem.CacheStats
+	prefetches   uint64
+
+	bp branch.Stats
+	tp tpred.Stats
+	tc tcache.Stats
+}
+
+// walk visits every counter word in declaration order. It is the single
+// field enumeration behind flatten/add/sub and the fingerprint hash;
+// TestRunCountersWalkCoversAllFields pins it against the struct by
+// reflection so a new field cannot be silently missed.
+func (rc *runCounters) walk(yield func(*uint64)) {
+	for _, p := range [...]*uint64{
+		&rc.cycles, &rc.insts, &rc.hotInsts, &rc.coldInsts,
+		&rc.traceAborts, &rc.abortedUops, &rc.optCount, &rc.optExecs,
+		&rc.uopsBefore, &rc.uopsAfter, &rc.critBefore, &rc.critAfter,
+		&rc.buildCount, &rc.hotSegments, &rc.coldSegments,
+		&rc.dynUopsOrig, &rc.dynUopsOpt, &rc.dynCritOrig, &rc.dynCritOpt,
+		&rc.optSeen,
+	} {
+		yield(p)
+	}
+	for i := range rc.counts {
+		yield(&rc.counts[i])
+	}
+	for i := range rc.countsHot {
+		yield(&rc.countsHot[i])
+	}
+	for _, st := range [...]*ooo.Stats{&rc.cold, &rc.hot} {
+		yield(&st.Cycles)
+		yield(&st.UopsDispatched)
+		yield(&st.UopsIssued)
+		yield(&st.UopsCommitted)
+		yield(&st.RegReads)
+		yield(&st.RegWrites)
+		yield(&st.Wakeups)
+		yield(&st.ROBWrites)
+		yield(&st.ROBReads)
+		for i := range st.OpsByClass {
+			yield(&st.OpsByClass[i])
+		}
+		yield(&st.StallROBFull)
+		yield(&st.StallIQFull)
+	}
+	for _, cs := range [...]*mem.CacheStats{&rc.l1i, &rc.l1d, &rc.l2} {
+		yield(&cs.Accesses)
+		yield(&cs.Hits)
+		yield(&cs.Misses)
+		yield(&cs.Evictions)
+		yield(&cs.Writes)
+	}
+	yield(&rc.prefetches)
+	yield(&rc.bp.Lookups)
+	yield(&rc.bp.Updates)
+	yield(&rc.bp.Mispredicts)
+	yield(&rc.tp.Lookups)
+	yield(&rc.tp.Predictions)
+	yield(&rc.tp.Correct)
+	yield(&rc.tp.Mispredicts)
+	yield(&rc.tp.Updates)
+	yield(&rc.tc.Lookups)
+	yield(&rc.tc.Hits)
+	yield(&rc.tc.Misses)
+	yield(&rc.tc.Inserts)
+	yield(&rc.tc.Writebacks)
+	yield(&rc.tc.Evictions)
+}
+
+// flatten serializes the counter block into buf (reused across calls).
+func (rc *runCounters) flatten(buf *[]uint64) {
+	*buf = (*buf)[:0]
+	rc.walk(func(p *uint64) { *buf = append(*buf, *p) })
+}
+
+// add folds words (a flattened block) into rc. Wrapping uint64 addition is
+// the exact inverse of sub, so a chain of window deltas reproduces the
+// final cumulative block bit-exactly regardless of intermediate wrap.
+func (rc *runCounters) add(words []uint64) {
+	i := 0
+	rc.walk(func(p *uint64) { *p += words[i]; i++ })
+}
+
+// sub subtracts words (a flattened block) from rc, turning a cumulative
+// snapshot into a window delta.
+func (rc *runCounters) sub(words []uint64) {
+	i := 0
+	rc.walk(func(p *uint64) { *p -= words[i]; i++ })
+}
+
+const (
+	fnvOffset = uint64(1469598103934665603)
+	fnvPrime  = uint64(1099511628211)
+)
+
+// hash folds the counter block into one FNV-64 word.
+func (rc *runCounters) hash() uint64 {
+	h := fnvOffset
+	rc.walk(func(p *uint64) { h = (h ^ *p) * fnvPrime })
+	return h
+}
+
+// fingerprintFrom extends a gathered counter-block hash with the mutable
+// state the counters do not see: component mutation epochs (table and LRU
+// dirty-set summaries), pipeline occupancy, selector position and the
+// front-end timing registers. Every term is O(1) to read.
+func (m *Machine) fingerprintFrom(rc *runCounters) uint64 {
+	h := rc.hash()
+	mix := func(w uint64) { h = (h ^ w) * fnvPrime }
+	mix(m.clock)
+	mix(m.clockStart)
+	mix(m.hier.L1I.Epoch())
+	mix(m.hier.L1D.Epoch())
+	mix(m.hier.L2.Epoch())
+	mix(m.bp.Epoch())
+	if m.tp != nil {
+		mix(m.tp.Epoch())
+	}
+	if m.tc != nil {
+		mix(m.tc.Epoch())
+	}
+	if m.hotF != nil {
+		mix(m.hotF.Epoch())
+	}
+	if m.blazeF != nil {
+		mix(m.blazeF.Epoch())
+	}
+	mix(m.sel.StateFingerprint())
+	mix(m.cold.StateFingerprint())
+	if m.model.Split {
+		mix(m.hot.StateFingerprint())
+	}
+	mix(uint64(m.dqLen()))
+	mix(uint64(len(m.pendingTraceInsts) - m.ptiHead))
+	mix(m.fetchStallUntil)
+	mix(uint64(m.pendingBranch))
+	mix(m.switchStallUntil)
+	mix(m.decCycle)
+	mix(m.supCycle)
+	mix(m.optBusyUntil)
+	mix(m.lastLine)
+	return h
+}
+
+// stateFingerprint summarizes the machine's current result-relevant mutable
+// state in one word.
+func (m *Machine) stateFingerprint() uint64 {
+	var rc runCounters
+	m.gatherRun(&rc)
+	return m.fingerprintFrom(&rc)
+}
+
+// memoKey identifies one deterministic run spec: the generated program
+// (profiles are value-comparable and key the program cache the same way),
+// the dynamic instruction count and the warmup boundary.
+type memoKey struct {
+	prof workload.Profile
+	n    int
+	warm int
+}
+
+// memoWindow is one recorded window: the counter delta accumulated between
+// two boundaries and the state fingerprints at both ends. Replay requires
+// each window's start link to match the running fingerprint, so corruption
+// or nondeterminism anywhere in the chain falls back to exact simulation.
+type memoWindow struct {
+	startFed int
+	endFed   int
+	startFP  uint64
+	endFP    uint64
+	delta    runCounters
+}
+
+// memoChain is the recorded trajectory of one run spec: the fingerprint of
+// the reset machine it started from and the window sequence to run end.
+type memoChain struct {
+	key      memoKey
+	startFP  uint64
+	windows  []memoWindow
+	complete bool // recorded through run end; only complete chains replay
+	lastUse  uint64
+}
+
+// MemoStats reports hot-window memoization activity for one machine.
+type MemoStats struct {
+	Chains  int `json:"chains"`  // recorded run specs resident
+	Windows int `json:"windows"` // recorded windows across all chains
+
+	WindowsRecorded uint64 `json:"windowsRecorded"`
+	WindowsReplayed uint64 `json:"windowsReplayed"`
+	RunsRecorded    uint64 `json:"runsRecorded"`
+	RunsReplayed    uint64 `json:"runsReplayed"`
+	InstsReplayed   uint64 `json:"instsReplayed"` // measured insts covered by replay
+
+	ReplayMisses   uint64 `json:"replayMisses"`   // no complete chain for the key
+	ReplayDiverged uint64 `json:"replayDiverged"` // fingerprint mismatch fallbacks
+	ProbeBypasses  uint64 `json:"probeBypasses"`  // replays skipped for an attached recorder
+	ChainsEvicted  uint64 `json:"chainsEvicted"`
+}
+
+// memoTable is one machine's chain store. It survives Machine.Reset, so a
+// pooled machine carries its recordings across jobs; only an in-progress
+// recording is discarded by Reset.
+type memoTable struct {
+	chains   map[memoKey]*memoChain
+	useClock uint64
+	stats    MemoStats
+}
+
+func newMemoTable() *memoTable {
+	return &memoTable{chains: make(map[memoKey]*memoChain)}
+}
+
+// install stores a finished chain, evicting the least recently used chain
+// when the table is full.
+func (t *memoTable) install(ch *memoChain) {
+	if _, ok := t.chains[ch.key]; !ok && len(t.chains) >= memoMaxChains {
+		var victim *memoChain
+		for _, c := range t.chains {
+			if victim == nil || c.lastUse < victim.lastUse {
+				victim = c
+			}
+		}
+		delete(t.chains, victim.key)
+		t.stats.ChainsEvicted++
+	}
+	t.useClock++
+	ch.lastUse = t.useClock
+	t.chains[ch.key] = ch
+}
+
+// MemoDisabledByEnv reports whether PARROT_NO_MEMO force-disabled
+// memoization process-wide (benchmarks use it to skip replay assertions).
+func MemoDisabledByEnv() bool { return memoEnvDisabled }
+
+// EnableMemo switches hot-window memoization for this machine. Disabling
+// drops the chain table. PARROT_NO_MEMO overrides enabling process-wide.
+func (m *Machine) EnableMemo(on bool) {
+	m.memoOn = on && !memoEnvDisabled
+	if !m.memoOn {
+		m.memo = nil
+		m.memoRec = nil
+	}
+}
+
+// MemoEnabled reports whether this machine memoizes runs.
+func (m *Machine) MemoEnabled() bool { return m.memoOn }
+
+// MemoStats returns a snapshot of the machine's memoization counters.
+func (m *Machine) MemoStats() MemoStats {
+	if m.memo == nil {
+		return MemoStats{}
+	}
+	s := m.memo.stats
+	s.Chains = len(m.memo.chains)
+	for _, ch := range m.memo.chains {
+		s.Windows += len(ch.windows)
+	}
+	return s
+}
+
+// memoResetRecording discards any in-progress recording (Machine.Reset):
+// a half-recorded trajectory is invalid the moment the machine state is
+// torn down. The finished-chain table deliberately survives.
+func (m *Machine) memoResetRecording() {
+	m.memoRec = nil
+	m.memoNextFed = 0
+	m.memoStep = 0
+	m.memoPrevFed = 0
+	m.memoPrevFP = 0
+	m.memoWantRecord = false
+}
+
+// memoReplay attempts to serve a full run from the chain table. It returns
+// nil — leaving the machine untouched — whenever the exact engine must run:
+// memoization off, recorder attached, no complete chain for the key, or a
+// fingerprint mismatch anywhere along the chain. As a side effect it
+// decides whether the upcoming exact run should record (memoArm).
+func (m *Machine) memoReplay(prof workload.Profile, n, warm int) *Result {
+	m.memoWantRecord = false
+	if !m.memoOn {
+		return nil
+	}
+	m.memoWantRecord = true
+	if m.memo == nil {
+		return nil
+	}
+	key := memoKey{prof: prof, n: n, warm: warm}
+	ch := m.memo.chains[key]
+	if ch == nil || !ch.complete {
+		m.memo.stats.ReplayMisses++
+		return nil
+	}
+	if m.rec != nil {
+		// Observability needs the exact engine (per-interval series, per-uop
+		// lifecycles); a complete chain exists, so mark the bypass for the
+		// probe bus and do not re-record.
+		m.memo.stats.ProbeBypasses++
+		chInsts := uint64(0)
+		for i := range ch.windows {
+			chInsts += ch.windows[i].delta.insts
+		}
+		m.rec.WindowReplayBypassed(len(ch.windows), chInsts)
+		m.memoWantRecord = false
+		return nil
+	}
+	if m.stateFingerprint() != ch.startFP {
+		// The machine is not in the recorded reset state. Keep the chain —
+		// it is valid for properly reset machines — and simulate exactly.
+		m.memo.stats.ReplayDiverged++
+		m.memoWantRecord = false
+		return nil
+	}
+	var rc runCounters
+	fp, fed := ch.startFP, 0
+	for i := range ch.windows {
+		w := &ch.windows[i]
+		if w.startFP != fp || w.startFed != fed {
+			// Broken chain link: recorded data is corrupt or nondeterminism
+			// crept in. Fall back to the exact engine and re-record.
+			m.memo.stats.ReplayDiverged++
+			m.memoWantRecord = true
+			return nil
+		}
+		w.delta.flatten(&m.memoBuf)
+		rc.add(m.memoBuf)
+		fp, fed = w.endFP, w.endFed
+	}
+	if fed != n {
+		m.memo.stats.ReplayDiverged++
+		m.memoWantRecord = true
+		return nil
+	}
+	m.memo.useClock++
+	ch.lastUse = m.memo.useClock
+	m.memo.stats.RunsReplayed++
+	m.memo.stats.WindowsReplayed += uint64(len(ch.windows))
+	m.memo.stats.InstsReplayed += rc.insts
+	return m.buildResult(prof, &rc)
+}
+
+// memoArm starts recording the upcoming run if memoReplay asked for it.
+// Must be called on the reset machine, before any instruction is fed.
+func (m *Machine) memoArm(prof workload.Profile, n, warm int) {
+	if !m.memoOn || !m.memoWantRecord {
+		return
+	}
+	if m.memo == nil {
+		m.memo = newMemoTable()
+	}
+	step := (n - warm) / memoWindowsPerRun
+	if step < memoMinStep {
+		step = memoMinStep
+	}
+	m.memoStep = step
+	// The first boundary lands on the warmup reset (taken after ResetStats),
+	// so the measured region starts from a clean snapshot.
+	m.memoNextFed = warm
+	if m.memoNextFed < 1 {
+		m.memoNextFed = 1
+	}
+	var rc runCounters
+	m.gatherRun(&rc)
+	fp := m.fingerprintFrom(&rc)
+	m.memoRec = &memoChain{key: memoKey{prof: prof, n: n, warm: warm}, startFP: fp}
+	m.memoPrevFP = fp
+	m.memoPrevFed = 0
+	rc.flatten(&m.memoPrev)
+}
+
+// memoBoundary snapshots one window boundary during a recording run.
+func (m *Machine) memoBoundary(fed int) {
+	var cur runCounters
+	m.gatherRun(&cur)
+	fp := m.fingerprintFrom(&cur)
+	w := memoWindow{
+		startFed: m.memoPrevFed,
+		endFed:   fed,
+		startFP:  m.memoPrevFP,
+		endFP:    fp,
+		delta:    cur,
+	}
+	w.delta.sub(m.memoPrev)
+	m.memoRec.windows = append(m.memoRec.windows, w)
+	m.memo.stats.WindowsRecorded++
+	if m.rec != nil {
+		m.rec.WindowRecorded(fed, fp)
+	}
+	cur.flatten(&m.memoPrev)
+	m.memoPrevFP = fp
+	m.memoPrevFed = fed
+	m.memoNextFed = fed + m.memoStep
+}
+
+// memoFinalize closes a recording after drain: the last window captures the
+// pipeline-drain tail, so the chain reproduces the exact end-of-run
+// counter block. Only a chain recorded through the full stream installs as
+// complete (replayable).
+func (m *Machine) memoFinalize(fed int) {
+	m.memoBoundary(fed)
+	ch := m.memoRec
+	ch.complete = fed == ch.key.n
+	m.memo.install(ch)
+	m.memo.stats.RunsRecorded++
+	m.memoResetRecording()
+}

@@ -1,0 +1,323 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"parrot/internal/config"
+	"parrot/internal/obs"
+	"parrot/internal/workload"
+)
+
+// skipIfMemoDisabled guards tests that require live memoization: CI runs the
+// whole suite once with PARROT_NO_MEMO=1, where the fast path must be inert
+// and these assertions are meaningless by design.
+func skipIfMemoDisabled(t *testing.T) {
+	t.Helper()
+	if memoEnvDisabled {
+		t.Skip("PARROT_NO_MEMO set: memoization force-disabled process-wide")
+	}
+}
+
+// countUint64Leaves recursively counts uint64 leaves of a type: the number
+// of words walk must visit for the counter block to be complete.
+func countUint64Leaves(t reflect.Type) int {
+	switch t.Kind() {
+	case reflect.Uint64:
+		return 1
+	case reflect.Array:
+		return t.Len() * countUint64Leaves(t.Elem())
+	case reflect.Struct:
+		n := 0
+		for i := 0; i < t.NumField(); i++ {
+			n += countUint64Leaves(t.Field(i).Type)
+		}
+		return n
+	default:
+		return 0
+	}
+}
+
+// TestRunCountersWalkCoversAllFields pins walk — the single enumeration
+// behind flatten/add/sub and the fingerprint hash — against the runCounters
+// struct by reflection: adding a result-relevant counter without teaching
+// walk about it would silently exclude it from window deltas, and replayed
+// results would diverge from exact ones in that one field.
+func TestRunCountersWalkCoversAllFields(t *testing.T) {
+	want := countUint64Leaves(reflect.TypeOf(runCounters{}))
+	var rc runCounters
+	got := 0
+	rc.walk(func(*uint64) { got++ })
+	if got != want {
+		t.Fatalf("walk visits %d words, runCounters has %d uint64 leaves", got, want)
+	}
+
+	// Every visited word is distinct storage: writing a unique value through
+	// each pointer and reading it back via flatten must round-trip.
+	i := uint64(0)
+	rc.walk(func(p *uint64) { i++; *p = i*2654435761 + 17 })
+	var buf []uint64
+	rc.flatten(&buf)
+	if len(buf) != want {
+		t.Fatalf("flatten produced %d words, want %d", len(buf), want)
+	}
+	seen := make(map[uint64]bool, len(buf))
+	for _, w := range buf {
+		if seen[w] {
+			t.Fatal("walk visited the same word twice")
+		}
+		seen[w] = true
+	}
+
+	// add and sub are exact inverses: rc - rc + rc == rc.
+	orig := make([]uint64, len(buf))
+	copy(orig, buf)
+	rc.sub(buf)
+	rc.walk(func(p *uint64) {
+		if *p != 0 {
+			t.Fatal("sub of self did not zero the block")
+		}
+	})
+	rc.add(orig)
+	rc.flatten(&buf)
+	for j := range buf {
+		if buf[j] != orig[j] {
+			t.Fatalf("add(sub()) round-trip broke word %d", j)
+		}
+	}
+}
+
+// TestMemoReplayMatchesExact is the core soundness gate: a replayed Result
+// is structurally identical to the exact engine's, field for field.
+func TestMemoReplayMatchesExact(t *testing.T) {
+	skipIfMemoDisabled(t)
+	model := config.Get(config.TON)
+	prof, _ := workload.ByName("swim")
+	const n = 30_000
+
+	exact := New(model)
+	exact.EnableMemo(false)
+	want := RunWarmOn(exact, prof, n)
+
+	m := New(model)
+	if !m.MemoEnabled() {
+		t.Fatal("machines must memoize by default")
+	}
+	r1 := RunWarmOn(m, prof, n) // records
+	if st := m.MemoStats(); st.RunsRecorded != 1 || st.Chains != 1 || st.Windows == 0 {
+		t.Fatalf("recording run left unexpected stats %+v", st)
+	}
+	if !reflect.DeepEqual(r1, want) {
+		t.Fatal("recording run diverged from the exact engine")
+	}
+
+	m.Reset()
+	r2 := RunWarmOn(m, prof, n) // replays
+	st := m.MemoStats()
+	if st.RunsReplayed != 1 {
+		t.Fatalf("second run did not replay: %+v", st)
+	}
+	if st.InstsReplayed != want.Insts {
+		t.Errorf("replay covered %d insts, run measured %d", st.InstsReplayed, want.Insts)
+	}
+	if !reflect.DeepEqual(r2, want) {
+		t.Fatalf("replayed result diverged from exact:\n replay: %+v\n exact:  %+v", r2, want)
+	}
+}
+
+// TestMemoFingerprintDivergenceMidReplay corrupts one link in a recorded
+// chain: replay must detect the mismatched fingerprint mid-walk, fall back
+// to the exact engine (bit-identical result), and re-record the chain so
+// the next run replays again.
+func TestMemoFingerprintDivergenceMidReplay(t *testing.T) {
+	skipIfMemoDisabled(t)
+	model := config.Get(config.TON)
+	prof, _ := workload.ByName("swim")
+	const n = 30_000
+	want := RunWarmFresh(model, prof, n)
+
+	m := New(model)
+	RunWarmOn(m, prof, n)
+	warm := int(float64(n) * WarmupFraction)
+	ch := m.memo.chains[memoKey{prof: prof, n: n, warm: warm}]
+	if ch == nil || !ch.complete {
+		t.Fatalf("no complete chain recorded (table %+v)", m.MemoStats())
+	}
+	if len(ch.windows) < 3 {
+		t.Fatalf("chain too short to corrupt mid-way: %d windows", len(ch.windows))
+	}
+	ch.windows[len(ch.windows)/2].startFP ^= 0xdeadbeef
+
+	m.Reset()
+	got := RunWarmOn(m, prof, n)
+	st := m.MemoStats()
+	if st.RunsReplayed != 0 {
+		t.Fatalf("corrupted chain must not replay: %+v", st)
+	}
+	if st.ReplayDiverged == 0 {
+		t.Fatalf("divergence not counted: %+v", st)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("fallback run diverged from the exact engine")
+	}
+	if st.RunsRecorded != 2 {
+		t.Fatalf("fallback run must re-record the chain: %+v", st)
+	}
+
+	m.Reset()
+	if RunWarmOn(m, prof, n); m.MemoStats().RunsReplayed != 1 {
+		t.Fatalf("re-recorded chain did not replay: %+v", m.MemoStats())
+	}
+}
+
+// TestMemoProbeAttachedBypass pins the observability contract: a machine
+// with a recorder attached always runs the exact engine — the probe streams
+// (per-interval series, per-uop lifecycles) cannot be replayed — but the
+// bypass is announced on the probe bus and the Result is still identical to
+// a memoize-off run.
+func TestMemoProbeAttachedBypass(t *testing.T) {
+	skipIfMemoDisabled(t)
+	model := config.Get(config.TON)
+	prof, _ := workload.ByName("swim")
+	const n = 30_000
+
+	// Reference: probed run with memoization off.
+	off := New(model)
+	off.EnableMemo(false)
+	recOff := obs.NewRecorder(obs.Options{})
+	off.Attach(recOff)
+	want := RunWarmOn(off, prof, n)
+
+	m := New(model)
+	RunWarmOn(m, prof, n) // record the chain unprobed
+	m.Reset()
+	rec := obs.NewRecorder(obs.Options{})
+	m.Attach(rec)
+	got := RunWarmOn(m, prof, n)
+
+	st := m.MemoStats()
+	if st.RunsReplayed != 0 || st.ProbeBypasses != 1 {
+		t.Fatalf("probed run must bypass replay exactly once: %+v", st)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("probed memoized run diverged from probed memoize-off run")
+	}
+
+	var bypass, recorded int
+	rec.Bus.Each(func(e *obs.Event) {
+		switch e.Kind {
+		case obs.KWindowReplay:
+			bypass++
+		case obs.KWindowRecord:
+			recorded++
+		}
+	})
+	if bypass != 1 {
+		t.Errorf("expected exactly one window-replay bypass event, got %d", bypass)
+	}
+	if recorded != 0 {
+		t.Errorf("bypassed run must not re-record boundaries, got %d events", recorded)
+	}
+	// The probe streams themselves match the memoize-off recorder minus the
+	// one bypass announcement.
+	if rec.Bus.Len() != recOff.Bus.Len()+1 {
+		t.Errorf("probe bus diverged: %d events vs %d+1 memoize-off", rec.Bus.Len(), recOff.Bus.Len())
+	}
+}
+
+// TestMemoRecordingDetachedOnReset pins the pooling protocol (the memo
+// analogue of TestRecorderDetachedOnReset): Reset discards an in-progress
+// recording — it references state that no longer exists — while the
+// finished-chain table survives and keeps replaying.
+func TestMemoRecordingDetachedOnReset(t *testing.T) {
+	skipIfMemoDisabled(t)
+	model := config.Get(config.TON)
+	prof, _ := workload.ByName("swim")
+	const n = 20_000
+
+	m := New(model)
+	m.memoRec = &memoChain{}
+	m.memoWantRecord = true
+	m.memoNextFed, m.memoStep, m.memoPrevFed, m.memoPrevFP = 1, 2, 3, 4
+	m.Reset()
+	if m.memoRec != nil || m.memoWantRecord || m.memoNextFed != 0 ||
+		m.memoStep != 0 || m.memoPrevFed != 0 || m.memoPrevFP != 0 {
+		t.Fatal("Reset must discard the in-progress recording")
+	}
+
+	RunWarmOn(m, prof, n)
+	m.Reset()
+	if st := m.MemoStats(); st.Chains != 1 {
+		t.Fatalf("finished-chain table must survive Reset: %+v", st)
+	}
+	RunWarmOn(m, prof, n)
+	if st := m.MemoStats(); st.RunsReplayed != 1 {
+		t.Fatalf("table surviving Reset must serve replays: %+v", st)
+	}
+}
+
+// TestMemoQuickProperty is the testing/quick property: for ANY random
+// (model, application, instruction count), record-then-replay on a reused
+// machine produces Results structurally identical to the memoize-off exact
+// engine.
+func TestMemoQuickProperty(t *testing.T) {
+	skipIfMemoDisabled(t)
+	if testing.Short() {
+		t.Skip("property test skipped in -short mode")
+	}
+	models := config.All()
+	apps := workload.Apps()
+	machines := make(map[config.ModelID]*Machine)
+
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		model := models[rng.Intn(len(models))]
+		prof := apps[rng.Intn(len(apps))]
+		n := 2_000 + rng.Intn(6_000)
+
+		exact := New(model)
+		exact.EnableMemo(false)
+		want := RunWarmOn(exact, prof, n)
+
+		m := machines[model.ID]
+		if m == nil {
+			m = New(model)
+			machines[model.ID] = m
+		} else {
+			m.Reset()
+		}
+		pre := m.MemoStats().RunsReplayed
+		r1 := RunWarmOn(m, prof, n)
+		m.Reset()
+		r2 := RunWarmOn(m, prof, n)
+		if m.MemoStats().RunsReplayed != pre+1 {
+			t.Logf("seed %d: %s/%s n=%d did not replay", seed, model.ID, prof.Name, n)
+			return false
+		}
+		if !reflect.DeepEqual(r1, want) || !reflect.DeepEqual(r2, want) {
+			t.Logf("seed %d: %s/%s n=%d diverged from exact", seed, model.ID, prof.Name, n)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 6}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPoolPutRestoresDefaultMemoState pins the pool hand-off contract: a
+// holder that pinned EnableMemo(false) for its own runs must not leak that
+// setting through the pool to an unrelated consumer.
+func TestPoolPutRestoresDefaultMemoState(t *testing.T) {
+	skipIfMemoDisabled(t)
+	model := config.Get(config.TON)
+	pool := NewPool()
+	m := pool.Get(model)
+	m.EnableMemo(false)
+	pool.Put(m)
+	if got := pool.Get(model); !got.MemoEnabled() {
+		t.Fatal("pooled machine handed out with memoization still pinned off")
+	}
+}

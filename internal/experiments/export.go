@@ -34,6 +34,13 @@ type RunSummary struct {
 	UopReduction  float64 `json:"uopReduction"`
 	CritReduction float64 `json:"critReduction"`
 	OptReuse      float64 `json:"optReuse"`
+
+	// Memo, when set by the caller (parrotscope), reports the machine's
+	// hot-window memoization activity: windows recorded/replayed and
+	// instructions covered by replay. Probed runs always execute the exact
+	// engine, so for observability runs this shows recording plus any
+	// replay bypasses rather than replays.
+	Memo *core.MemoStats `json:"memo,omitempty"`
 }
 
 // Summarize converts one run result into its machine-readable record,

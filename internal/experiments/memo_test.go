@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"testing"
+
+	"parrot/internal/config"
+	"parrot/internal/core"
+)
+
+// TestMatrixReplayDigestStable is the matrix-level memoization gate: a
+// second pass over the same configuration — served from the pooled
+// machines' memo chain tables — and a memoize-off pass must all digest
+// identically. This is the property the steady-matrix benchmark, the CI
+// perf gate and warm parrotd fleets rely on: replay changes wall time,
+// never bytes.
+func TestMatrixReplayDigestStable(t *testing.T) {
+	apps := appsByName(t, "gzip", "swim", "flash", "word")
+	models := []config.Model{config.Get(config.N), config.Get(config.TON)}
+	cfg := Config{Insts: 12_000, Apps: apps, Models: models}
+
+	first := Run(cfg).Digest()  // records on cold pooled machines
+	second := Run(cfg).Digest() // replays where the pool hands back the same machines
+	offCfg := cfg
+	offCfg.Memoize = MemoOff
+	exact := Run(offCfg).Digest() // exact engine, same spec
+
+	if first != second {
+		t.Fatalf("repeated matrix pass changed the digest: %s vs %s", first, second)
+	}
+	if first != exact {
+		t.Fatalf("memoized matrix digest differs from memoize-off: %s vs %s", first, exact)
+	}
+}
+
+// TestMemoOffConfigDisablesReplay pins Config.Memoize: a MemoOff matrix
+// must never serve cells from replay even when the pooled machines already
+// hold complete chains for the spec.
+func TestMemoOffConfigDisablesReplay(t *testing.T) {
+	if core.MemoDisabledByEnv() {
+		t.Skip("PARROT_NO_MEMO set: memoization force-disabled process-wide")
+	}
+	apps := appsByName(t, "gzip")
+	models := []config.Model{config.Get(config.TON)}
+
+	pool := core.NewPool()
+	model := models[0]
+	m := pool.Get(model)
+	prof := apps[0]
+	core.RunWarmOn(m, prof, 12_000) // record a chain for the spec
+	m.Reset()
+	pre := m.MemoStats().RunsReplayed
+	m.EnableMemo(false)
+	core.RunWarmOn(m, prof, 12_000)
+	if got := m.MemoStats(); got.RunsReplayed != pre {
+		t.Fatalf("EnableMemo(false) run still replayed: %+v", got)
+	}
+}

@@ -68,6 +68,7 @@ type Stats struct {
 	Enqueued  uint64 // entered a queue
 	Rejected  uint64 // bounced on a full queue
 	Completed uint64 // simulations actually executed
+	Replayed  uint64 // completed via hot-window memo replay on a pooled machine
 	Abandoned uint64 // queued jobs dropped because every waiter left
 
 	SimInsts uint64        // dynamic instructions simulated (measured window)
@@ -324,9 +325,14 @@ func (s *Sched) worker() {
 		}
 		last, haveLast = j.spec.Model, true
 
+		// Worker machines keep their memo chain tables across jobs (Reset
+		// preserves them), so a spec that misses the result cache but was
+		// simulated before on this machine replays instead of re-simulating.
+		preReplays := m.MemoStats().RunsReplayed
 		start := time.Now()
 		res := core.RunWarmOn(m, j.spec.App, j.spec.Insts)
 		busy := time.Since(start)
+		replayed := m.MemoStats().RunsReplayed > preReplays
 
 		if c := s.cfg.Cache; c != nil {
 			// Disk write errors are non-fatal: the result is still returned
@@ -336,6 +342,9 @@ func (s *Sched) worker() {
 
 		s.mu.Lock()
 		s.stats.Completed++
+		if replayed {
+			s.stats.Replayed++
+		}
 		s.stats.SimInsts += res.Insts
 		s.stats.BusyTime += busy
 		s.stats.Running--
