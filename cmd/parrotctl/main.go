@@ -8,6 +8,8 @@
 //	parrotctl get -digest <hex>
 //	parrotctl health
 //	parrotctl metrics
+//	parrotctl top [-watch 2s] [-raw] [-expect 'series op value']...
+//	parrotctl trace -id <requestID> [-table] [-o trace.json]
 //
 // Every subcommand accepts -server (default http://127.0.0.1:8044, or
 // $PARROTD when set). The matrix assertions make parrotctl usable as a CI
@@ -46,7 +48,7 @@ func defaultServer() string {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: parrotctl <run|matrix|get|health|metrics> [flags]")
+		return fmt.Errorf("usage: parrotctl <run|matrix|get|health|metrics|top|trace> [flags]")
 	}
 	cmd, rest := args[0], args[1:]
 	switch cmd {
@@ -60,6 +62,10 @@ func run(args []string) error {
 		return cmdHealth(rest)
 	case "metrics":
 		return cmdMetrics(rest)
+	case "top":
+		return cmdTop(rest)
+	case "trace":
+		return cmdTrace(rest)
 	default:
 		return fmt.Errorf("parrotctl: unknown subcommand %q", cmd)
 	}
@@ -92,12 +98,18 @@ func cmdRun(args []string) error {
 		return emitJSON(resp)
 	}
 	r := resp.Result
-	disp := "computed"
-	if resp.Cached {
-		disp = "cache hit"
+	disp := resp.Disposition
+	if disp == "" { // pre-disposition servers
+		disp = "computed"
+		if resp.Cached {
+			disp = "cache hit"
+		}
 	}
 	fmt.Printf("model %s on %s (%s)  [%s in %s]\n\n", r.Model, r.App, r.Suite, disp, us(resp.ElapsedUs))
 	fmt.Printf("  digest         %s\n", resp.Digest)
+	if resp.RequestID != "" {
+		fmt.Printf("  request id     %s\n", resp.RequestID)
+	}
 	fmt.Printf("  instructions   %12d\n", r.Insts)
 	fmt.Printf("  cycles         %12d\n", r.Cycles)
 	fmt.Printf("  IPC            %12.3f\n", r.IPC())

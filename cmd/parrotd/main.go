@@ -11,6 +11,14 @@
 //	parrotd -cachedir /var/cache/parrot      # persistent on-disk store
 //	parrotd -cachemem 268435456 -workers 8   # 256 MiB LRU, 8 workers
 //	parrotd -prewarm                         # pre-build one machine per model
+//	parrotd -loglevel debug -pprof           # verbose logs + /debug/pprof/
+//
+// Operational surface: GET /metricsz serves Prometheus text exposition
+// (?format=json for the legacy body), GET /v1/trace/{requestID} replays a
+// request's span timeline as Chrome trace-event JSON, GET /v1/stats/stream
+// pushes live metric snapshots over SSE, and -pprof exposes the runtime
+// profiles. Logs are structured JSON lines on stderr, one per event, each
+// carrying the request ID when request-scoped.
 //
 // SIGINT/SIGTERM drains gracefully: /healthz reports draining, queued and
 // running jobs finish, in-flight HTTP responses complete, then the process
@@ -34,6 +42,8 @@ import (
 	"parrot/internal/serve/api"
 	"parrot/internal/serve/cache"
 	"parrot/internal/serve/sched"
+	"parrot/internal/telemetry"
+	tlog "parrot/internal/telemetry/log"
 )
 
 func main() {
@@ -52,7 +62,17 @@ func run() error {
 	queueCap := flag.Int("queue", 4096, "per-priority queue bound")
 	prewarm := flag.Bool("prewarm", false, "pre-construct one pooled machine per model before serving")
 	drainTimeout := flag.Duration("draintimeout", 60*time.Second, "max time to drain on shutdown")
+	logLevel := flag.String("loglevel", "info", "log level: debug, info, warn, error")
+	enablePprof := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	traceBuf := flag.Int("tracebuf", 256, "request traces kept for /v1/trace/{id}")
 	flag.Parse()
+
+	lv, err := tlog.ParseLevel(*logLevel)
+	if err != nil {
+		return fmt.Errorf("parrotd: %w", err)
+	}
+	logger := tlog.New(os.Stderr, lv).With(tlog.F("app", "parrotd"))
+	reg := telemetry.NewRegistry()
 
 	c, err := cache.New(cache.Config{MemBudget: *cacheMem, Dir: *cacheDir})
 	if err != nil {
@@ -67,8 +87,9 @@ func run() error {
 		for _, m := range config.All() {
 			pool.Prewarm(m, 1)
 		}
-		fmt.Fprintf(os.Stderr, "parrotd: prewarmed %d machines in %v\n",
-			pool.Size(), time.Since(t0).Round(time.Millisecond))
+		logger.Info("prewarmed pool",
+			tlog.F("machines", pool.Size()),
+			tlog.F("took", time.Since(t0).Round(time.Millisecond)))
 	}
 
 	sc := sched.New(sched.Config{
@@ -76,8 +97,17 @@ func run() error {
 		QueueCap: *queueCap,
 		Cache:    c,
 		Pool:     pool,
+		Registry: reg,
+		Log:      logger,
 	})
-	srv := api.New(api.Config{Cache: c, Sched: sc})
+	srv := api.New(api.Config{
+		Cache:       c,
+		Sched:       sc,
+		Registry:    reg,
+		Log:         logger,
+		TraceBuf:    *traceBuf,
+		EnablePprof: *enablePprof,
+	})
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -89,8 +119,15 @@ func run() error {
 			return fmt.Errorf("parrotd: addrfile: %w", err)
 		}
 	}
+	// The one human-facing line (scripts scrape stdout for it); everything
+	// else is structured JSON on stderr.
 	fmt.Printf("parrotd listening on %s (workers=%d cache=%s)\n",
 		bound, sc.Stats().Workers, cacheDesc(*cacheMem, *cacheDir))
+	logger.Info("listening",
+		tlog.F("addr", bound),
+		tlog.F("workers", sc.Stats().Workers),
+		tlog.F("cache", cacheDesc(*cacheMem, *cacheDir)),
+		tlog.F("pprof", *enablePprof))
 
 	hs := &http.Server{Handler: srv.Handler()}
 	errCh := make(chan error, 1)
@@ -106,7 +143,7 @@ func run() error {
 		}
 		return nil
 	case s := <-sig:
-		fmt.Fprintf(os.Stderr, "parrotd: %v received, draining…\n", s)
+		logger.Info("signal received, draining", tlog.F("signal", s.String()))
 	}
 
 	// Graceful drain: stop accepting scheduler jobs, let queued/running work
@@ -114,12 +151,12 @@ func run() error {
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := sc.Drain(ctx); err != nil {
-		fmt.Fprintf(os.Stderr, "parrotd: scheduler drain: %v\n", err)
+		logger.Error("scheduler drain", tlog.F("err", err))
 	}
 	if err := hs.Shutdown(ctx); err != nil {
 		return fmt.Errorf("parrotd: shutdown: %w", err)
 	}
-	fmt.Fprintln(os.Stderr, "parrotd: drained cleanly")
+	logger.Info("drained cleanly")
 	return nil
 }
 

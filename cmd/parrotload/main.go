@@ -11,6 +11,7 @@
 //	parrotload -models N,TON -apps gzip,swim -n 20000       # small cell set
 //	parrotload -warm                                        # pre-touch every cell once
 //	parrotload -min-hit 0.95 -max-cached-p99 5ms            # CI assertions
+//	parrotload -report loadreport.json                      # machine-readable report
 package main
 
 import (
@@ -49,6 +50,7 @@ func run() error {
 	minHit := flag.Float64("min-hit", -1, "fail unless the measured hit rate >= this fraction")
 	maxCachedP99 := flag.Duration("max-cached-p99", 0, "fail unless cached-cell p99 <= this (0 = no gate)")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON")
+	reportPath := flag.String("report", "", "also write the full JSON report (latency histograms included) to this file, e.g. loadreport.json")
 	flag.Parse()
 
 	c := client.New(*server)
@@ -95,6 +97,16 @@ func run() error {
 		}
 	} else {
 		fmt.Print(report.String())
+	}
+	if *reportPath != "" {
+		b, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*reportPath, append(b, '\n'), 0o644); err != nil {
+			return fmt.Errorf("parrotload: write report: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "parrotload: report written to %s\n", *reportPath)
 	}
 
 	// CI assertions.

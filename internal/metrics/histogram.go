@@ -41,6 +41,29 @@ func LinearBuckets(step, n int) []int {
 	return out
 }
 
+// ExpBuckets returns n geometrically spaced bounds start, start*factor,
+// start*factor² … — the right shape for latency histograms, whose
+// populations span orders of magnitude (a cached cell serves in tens of
+// microseconds, a cold simulation in tens of milliseconds). Bounds are
+// rounded to integers and deduplicated, so a sub-2 factor near small
+// starts still yields strictly ascending bounds.
+func ExpBuckets(start int, factor float64, n int) []int {
+	if start < 1 || factor <= 1 || n < 1 {
+		panic("metrics: ExpBuckets needs start >= 1, factor > 1, n >= 1")
+	}
+	out := make([]int, 0, n)
+	v := float64(start)
+	for i := 0; i < n; i++ {
+		b := int(v + 0.5)
+		if len(out) > 0 && b <= out[len(out)-1] {
+			b = out[len(out)-1] + 1
+		}
+		out = append(out, b)
+		v *= factor
+	}
+	return out
+}
+
 // bucket returns the index for value v.
 func (h *Histogram) bucket(v int) int {
 	// Bucket lists are short (tens of bounds); a linear scan beats binary

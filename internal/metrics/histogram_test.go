@@ -118,6 +118,40 @@ func TestLinearBucketsEdges(t *testing.T) {
 	}
 }
 
+func TestExpBuckets(t *testing.T) {
+	// 10µs … spanning into seconds: the latency-histogram shape.
+	b := ExpBuckets(10, 4, 10)
+	if len(b) != 10 {
+		t.Fatalf("len = %d, want 10", len(b))
+	}
+	if b[0] != 10 || b[1] != 40 || b[2] != 160 {
+		t.Errorf("leading bounds = %v", b[:3])
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("bounds not strictly ascending at %d: %v", i, b)
+		}
+	}
+	// NewHistogram must accept the output directly.
+	NewHistogram(ExpBuckets(1, 1.3, 20)...)
+
+	// Sub-2 factors near small starts would collide after rounding; the
+	// dedup bump keeps bounds strictly ascending.
+	b = ExpBuckets(1, 1.1, 8)
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("deduped bounds not ascending: %v", b)
+		}
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("factor <= 1 must panic")
+		}
+	}()
+	ExpBuckets(1, 1, 4)
+}
+
 func TestNewHistogramRejectsBadBounds(t *testing.T) {
 	defer func() {
 		if recover() == nil {

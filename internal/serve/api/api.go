@@ -3,13 +3,22 @@
 //	POST /v1/run              one simulation cell (JSON in/out)
 //	POST /v1/matrix           model × application fan-out with SSE progress
 //	GET  /v1/results/{digest} cache-only lookup by content address
+//	GET  /v1/trace/{id}       request span timeline (Chrome trace-event JSON)
+//	GET  /v1/stats/stream     live metric snapshots (SSE)
 //	GET  /healthz             liveness + drain state
-//	GET  /metricsz            cache/scheduler/pool counters
+//	GET  /metricsz            Prometheus text exposition (?format=json legacy)
+//	GET  /debug/pprof/…       runtime profiles (behind Config.EnablePprof)
 //
 // The server is a thin adapter: request bodies resolve to canonical
 // experiments.RunSpecs, the scheduler executes (or the cache serves) them,
 // and responses carry complete core.Result cells plus their content
 // addresses, so clients can verify transport integrity end-to-end.
+//
+// Every request is minted (or propagated, via X-Parrot-Request-Id) a
+// request ID that rides the context as a telemetry.Trace and a structured
+// logger: the scheduler, cache and worker fleet add spans to it, and the
+// finished timeline is retrievable from /v1/trace/{id} while it stays in
+// the ring buffer.
 package api
 
 import (
@@ -18,7 +27,9 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
+	"strings"
 	"time"
 
 	"parrot/internal/config"
@@ -27,8 +38,13 @@ import (
 	"parrot/internal/serve/cache"
 	"parrot/internal/serve/proto"
 	"parrot/internal/serve/sched"
+	"parrot/internal/telemetry"
+	tlog "parrot/internal/telemetry/log"
 	"parrot/internal/workload"
 )
+
+// RequestIDHeader carries (and returns) the request correlation ID.
+const RequestIDHeader = "X-Parrot-Request-Id"
 
 // Config parameterizes a server.
 type Config struct {
@@ -38,13 +54,32 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// MaxMatrixTimeout bounds matrix requests (0 = 10min).
 	MaxMatrixTimeout time.Duration
+	// Registry backs /metricsz and /v1/stats/stream (nil = a private one;
+	// pass the same registry to sched.New so its series appear too).
+	Registry *telemetry.Registry
+	// Log receives structured request logs (nil = silent).
+	Log *tlog.Logger
+	// TraceBuf bounds the request-trace ring buffer (<=0 = 256 traces).
+	TraceBuf int
+	// EnablePprof exposes net/http/pprof under /debug/pprof/.
+	EnablePprof bool
+	// StatsInterval paces /v1/stats/stream snapshots (0 = 1s).
+	StatsInterval time.Duration
 }
 
 // Server wires the serving subsystem behind an http.Handler.
 type Server struct {
-	cfg   Config
-	mux   *http.ServeMux
-	start time.Time
+	cfg    Config
+	mux    *http.ServeMux
+	start  time.Time
+	reg    *telemetry.Registry
+	log    *tlog.Logger
+	traces *telemetry.TraceStore
+
+	reqTotal func(route, code string) *telemetry.Counter
+	reqSecs  func(route string) *telemetry.Histogram
+	cellReqs func(disp string) *telemetry.Counter
+	cellSecs func(disp string) *telemetry.Histogram
 }
 
 // New builds a server over a scheduler (required) and its cache (may be
@@ -56,17 +91,197 @@ func New(cfg Config) *Server {
 	if cfg.MaxMatrixTimeout <= 0 {
 		cfg.MaxMatrixTimeout = 10 * time.Minute
 	}
-	s := &Server{cfg: cfg, mux: http.NewServeMux(), start: time.Now()}
+	if cfg.Registry == nil {
+		cfg.Registry = telemetry.NewRegistry()
+	}
+	if cfg.StatsInterval <= 0 {
+		cfg.StatsInterval = time.Second
+	}
+	s := &Server{
+		cfg:    cfg,
+		mux:    http.NewServeMux(),
+		start:  time.Now(),
+		reg:    cfg.Registry,
+		log:    cfg.Log.With(tlog.F("component", "api")),
+		traces: telemetry.NewTraceStore(cfg.TraceBuf),
+	}
+
+	// HTTP-level instruments. The closures mint label variants lazily; the
+	// registry dedups, so hot paths pay one map lookup under a short lock.
+	reqBounds := telemetry.DefBuckets()
+	s.reqTotal = func(route, code string) *telemetry.Counter {
+		return s.reg.Counter("parrot_requests_total",
+			"HTTP requests by route and status code.", "route", route, "code", code)
+	}
+	s.reqSecs = func(route string) *telemetry.Histogram {
+		return s.reg.Histogram("parrot_request_seconds",
+			"HTTP request handling time by route.", reqBounds, "route", route)
+	}
+	s.cellReqs = func(disp string) *telemetry.Counter {
+		return s.reg.Counter("parrot_cell_requests_total",
+			"Simulation cells served, by disposition (hit/dedup/replayed/exact).",
+			"disposition", disp)
+	}
+	s.cellSecs = func(disp string) *telemetry.Histogram {
+		return s.reg.Histogram("parrot_cell_seconds",
+			"Per-cell serving latency by disposition.", reqBounds, "disposition", disp)
+	}
+
+	// Scrape-time collectors over single snapshots: cache, pool, process.
+	cfg.Cache.Register(s.reg)
+	pool := cfg.Sched.Pool()
+	s.reg.RegisterCollector(func(emit telemetry.Emit) {
+		ps := pool.Stats()
+		emit("parrot_pool_gets_total", "counter", "Machine checkouts.", float64(ps.Gets))
+		emit("parrot_pool_reuses_total", "counter", "Checkouts served by a pooled machine.", float64(ps.Reuses))
+		emit("parrot_pool_puts_total", "counter", "Machines returned.", float64(ps.Puts))
+		emit("parrot_pool_discards_total", "counter", "Machines dropped at the pool cap.", float64(ps.Discards))
+		emit("parrot_pool_size", "gauge", "Machines resident in the pool.", float64(pool.Size()))
+	})
+	s.reg.RegisterCollector(func(emit telemetry.Emit) {
+		emit("parrot_uptime_seconds", "gauge", "Daemon uptime.", time.Since(s.start).Seconds())
+		emit("parrot_goroutines", "gauge", "Live goroutines.", float64(runtime.NumGoroutine()))
+		emit("parrot_traces_buffered", "gauge", "Request traces resident in the ring buffer.", float64(s.traces.Len()))
+	})
+
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("POST /v1/matrix", s.handleMatrix)
 	s.mux.HandleFunc("GET /v1/results/{digest}", s.handleResult)
+	s.mux.HandleFunc("GET /v1/trace/{id}", s.handleTrace)
+	s.mux.HandleFunc("GET /v1/stats/stream", s.handleStatsStream)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metricsz", s.handleMetricsz)
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
-// Handler returns the routable HTTP surface.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the routable HTTP surface, wrapped in the telemetry
+// middleware (request IDs, traces, logs, request metrics).
+func (s *Server) Handler() http.Handler { return s.middleware(s.mux) }
+
+// routeLabel buckets a path into its metric label — a closed set, so
+// arbitrary request paths cannot mint unbounded label values.
+func routeLabel(r *http.Request) string {
+	p := r.URL.Path
+	switch {
+	case p == "/v1/run":
+		return "run"
+	case p == "/v1/matrix":
+		return "matrix"
+	case strings.HasPrefix(p, "/v1/results/"):
+		return "result"
+	case strings.HasPrefix(p, "/v1/trace/"):
+		return "trace"
+	case p == "/v1/stats/stream":
+		return "stats_stream"
+	case p == "/healthz":
+		return "healthz"
+	case p == "/metricsz":
+		return "metricsz"
+	case strings.HasPrefix(p, "/debug/pprof"):
+		return "pprof"
+	default:
+		return "other"
+	}
+}
+
+// statusWriter captures the response code while preserving http.Flusher —
+// the matrix SSE stream (and /v1/stats/stream) flush through it.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Flush forwards to the underlying writer (SSE requires it).
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// middleware mints/propagates the request ID, opens the root span, binds
+// the request-scoped logger, and records route metrics on completion.
+// Scrape and debug routes skip tracing: a metrics poller must not churn
+// the trace ring buffer that holds real request timelines.
+func (s *Server) middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		route := routeLabel(r)
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+
+		traced := route != "metricsz" && route != "healthz" &&
+			route != "stats_stream" && route != "pprof"
+		reqID := r.Header.Get(RequestIDHeader)
+		if reqID == "" {
+			reqID = telemetry.NewRequestID()
+		}
+		sw.Header().Set(RequestIDHeader, reqID)
+
+		ctx := r.Context()
+		rlog := s.log.With(tlog.F("reqID", reqID), tlog.F("route", route))
+		ctx = tlog.WithContext(ctx, rlog)
+		var tr *telemetry.Trace
+		if traced {
+			tr = telemetry.NewTrace(reqID)
+			s.traces.Put(tr)
+			ctx = telemetry.WithTrace(ctx, tr)
+			// Anchor the root span at the trace origin so every child span
+			// sits at a non-negative offset inside it.
+			start = tr.Start()
+		}
+
+		next.ServeHTTP(sw, r.WithContext(ctx))
+
+		if sw.code == 0 {
+			sw.code = http.StatusOK
+		}
+		elapsed := time.Since(start)
+		tr.AddSpan("http.request", telemetry.TIDRequest, start, start.Add(elapsed),
+			telemetry.A("route", route),
+			telemetry.A("method", r.Method),
+			telemetry.A("code", fmt.Sprintf("%d", sw.code)))
+		code := fmt.Sprintf("%d", sw.code)
+		s.reqTotal(route, code).Inc()
+		s.reqSecs(route).Observe(elapsed.Seconds())
+		if traced {
+			lv := tlog.LevelInfo
+			if sw.code >= 500 {
+				lv = tlog.LevelError
+			}
+			if rlog.Enabled(lv) {
+				fields := []tlog.Field{
+					tlog.F("status", sw.code),
+					tlog.F("us", elapsed.Microseconds()),
+				}
+				if lv == tlog.LevelError {
+					rlog.Error("request failed", fields...)
+				} else {
+					rlog.Info("request served", fields...)
+				}
+			}
+		}
+	})
+}
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -135,23 +350,28 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 
 	start := time.Now()
 	var (
-		res    *core.Result
-		cached bool
+		res  *core.Result
+		disp sched.Disposition
 	)
 	if req.Priority == proto.PriorityBatch {
-		res, cached, err = s.cfg.Sched.SubmitBatch(ctx, spec)
+		res, disp, err = s.cfg.Sched.SubmitBatch(ctx, spec)
 	} else {
-		res, cached, err = s.cfg.Sched.Submit(ctx, spec)
+		res, disp, err = s.cfg.Sched.Submit(ctx, spec)
 	}
 	if err != nil {
 		writeErr(w, schedErrStatus(err), "%v", err)
 		return
 	}
+	elapsed := time.Since(start)
+	s.cellReqs(disp.String()).Inc()
+	s.cellSecs(disp.String()).Observe(elapsed.Seconds())
 	writeJSON(w, http.StatusOK, proto.RunResponse{
 		Digest:       spec.Digest(),
-		Cached:       cached,
+		Cached:       disp.Cached(),
+		Disposition:  disp.String(),
+		RequestID:    telemetry.TraceFrom(ctx).ID(),
 		ResultDigest: experiments.ResultDigest(res),
-		ElapsedUs:    time.Since(start).Microseconds(),
+		ElapsedUs:    elapsed.Microseconds(),
 		Result:       res,
 	})
 }
@@ -162,7 +382,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, "no result cache configured")
 		return
 	}
-	res, ok := s.cfg.Cache.Get(digest)
+	res, ok := s.cfg.Cache.GetCtx(r.Context(), digest)
 	if !ok {
 		writeErr(w, http.StatusNotFound, "no result under digest %.12s…", digest)
 		return
@@ -170,9 +390,30 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, proto.RunResponse{
 		Digest:       digest,
 		Cached:       true,
+		Disposition:  sched.DispCacheHit.String(),
+		RequestID:    telemetry.TraceFrom(r.Context()).ID(),
 		ResultDigest: experiments.ResultDigest(res),
 		Result:       res,
 	})
+}
+
+// handleTrace serves a buffered request timeline. Default rendering is
+// Chrome trace-event JSON (load in chrome://tracing or Perfetto);
+// ?format=spans returns the raw span records.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	tr, ok := s.traces.Get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no trace under request ID %q (ring buffer keeps the last %d)", id, s.traces.Cap())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	if r.URL.Query().Get("format") == "spans" {
+		_ = tr.WriteSpansJSON(w)
+		return
+	}
+	_ = tr.WriteChromeTrace(w)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -185,7 +426,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleMetricsz renders the registry in Prometheus text exposition format
+// (0.0.4). The pre-telemetry JSON body survives under ?format=json for
+// existing dashboards and the client library.
 func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "json" {
+		s.metricszJSON(w)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_ = s.reg.WritePrometheus(w)
+}
+
+func (s *Server) metricszJSON(w http.ResponseWriter) {
 	var m proto.Metrics
 	if s.cfg.Cache != nil {
 		cs := s.cfg.Cache.Stats()
@@ -222,4 +476,52 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 		Size: s.cfg.Sched.Pool().Size(),
 	}
 	writeJSON(w, http.StatusOK, m)
+}
+
+// handleStatsStream pushes periodic flat registry snapshots as SSE "stats"
+// events until the client disconnects — a live top-style feed without
+// polling /metricsz.
+func (s *Server) handleStatsStream(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, http.StatusInternalServerError, "streaming unsupported by connection")
+		return
+	}
+	interval := s.cfg.StatsInterval
+	if ms := r.URL.Query().Get("interval_ms"); ms != "" {
+		if d, err := time.ParseDuration(ms + "ms"); err == nil && d >= 100*time.Millisecond {
+			interval = d
+		}
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	emit := func() bool {
+		b, err := json.Marshal(s.reg.Flat())
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: stats\ndata: %s\n\n", b); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+	if !emit() {
+		return
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-ticker.C:
+			if !emit() {
+				return
+			}
+		}
+	}
 }

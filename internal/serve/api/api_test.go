@@ -15,6 +15,7 @@ import (
 	"parrot/internal/serve/client"
 	"parrot/internal/serve/proto"
 	"parrot/internal/serve/sched"
+	"parrot/internal/telemetry"
 	"parrot/internal/workload"
 )
 
@@ -28,8 +29,11 @@ func testServer(t *testing.T) (*client.Client, *cache.Cache, *sched.Sched) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := sched.New(sched.Config{Workers: 2, Cache: c, Pool: core.NewPool()})
-	srv := New(Config{Cache: c, Sched: s})
+	// One registry shared by scheduler and server, exactly as parrotd wires
+	// it, so /metricsz scrapes exercise every collector.
+	reg := telemetry.NewRegistry()
+	s := sched.New(sched.Config{Workers: 2, Cache: c, Pool: core.NewPool(), Registry: reg})
+	srv := New(Config{Cache: c, Sched: s, Registry: reg})
 	hs := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() {
 		hs.Close()

@@ -11,6 +11,8 @@ import (
 	"parrot/internal/core"
 	"parrot/internal/experiments"
 	"parrot/internal/serve/proto"
+	"parrot/internal/serve/sched"
+	"parrot/internal/telemetry"
 	"parrot/internal/workload"
 )
 
@@ -67,10 +69,10 @@ func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
 	}
 
 	type cellDone struct {
-		idx    int
-		cached bool
-		res    *core.Result
-		err    error
+		idx  int
+		disp sched.Disposition
+		res  *core.Result
+		err  error
 	}
 
 	total := len(models) * len(apps)
@@ -85,8 +87,13 @@ func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
 			idx := mi*len(apps) + ai
 			spec := experiments.RunSpec{Model: m, App: p, Insts: req.Insts}.Normalize()
 			go func() {
-				res, cached, err := s.cfg.Sched.SubmitBatch(ctx, spec)
-				done <- cellDone{idx: idx, cached: cached, res: res, err: err}
+				cellStart := time.Now()
+				res, disp, err := s.cfg.Sched.SubmitBatch(ctx, spec)
+				if err == nil {
+					s.cellReqs(disp.String()).Inc()
+					s.cellSecs(disp.String()).Observe(time.Since(cellStart).Seconds())
+				}
+				done <- cellDone{idx: idx, disp: disp, res: res, err: err}
 			}()
 		}
 	}
@@ -100,7 +107,7 @@ func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		cells[d.idx] = d
-		if d.cached {
+		if d.disp.Cached() {
 			cachedCells++
 		}
 		elapsed := time.Since(start)
@@ -108,7 +115,7 @@ func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
 		emit("progress", proto.Progress{
 			Done: n, Total: total,
 			ElapsedUs: elapsed.Microseconds(), EtaUs: eta.Microseconds(),
-			Cached: d.cached,
+			Cached: d.disp.Cached(), Disposition: d.disp.String(),
 		})
 	}
 
@@ -137,17 +144,19 @@ func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
 		CachedCells: cachedCells,
 		TotalCells:  total,
 		ElapsedUs:   time.Since(start).Microseconds(),
+		RequestID:   telemetry.TraceFrom(ctx).ID(),
 		Cells:       make([]proto.Cell, 0, total),
 	}
 	for mi, m := range models {
 		for ai, p := range apps {
 			d := cells[mi*len(apps)+ai]
 			out.Cells = append(out.Cells, proto.Cell{
-				Model:  string(m.ID),
-				App:    p.Name,
-				Digest: experiments.RunSpec{Model: m, App: p, Insts: req.Insts}.Digest(),
-				Cached: d.cached,
-				Result: d.res,
+				Model:       string(m.ID),
+				App:         p.Name,
+				Digest:      experiments.RunSpec{Model: m, App: p, Insts: req.Insts}.Digest(),
+				Cached:      d.disp.Cached(),
+				Disposition: d.disp.String(),
+				Result:      d.res,
 			})
 		}
 	}

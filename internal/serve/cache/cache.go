@@ -15,12 +15,15 @@
 package cache
 
 import (
+	"context"
 	"encoding/json"
 	"sync"
 
 	"parrot/internal/core"
 	"parrot/internal/experiments"
 	"parrot/internal/metrics"
+	"parrot/internal/telemetry"
+	tlog "parrot/internal/telemetry/log"
 )
 
 // Stats counts cache traffic. Hits = MemHits + DiskHits.
@@ -131,6 +134,29 @@ func decode(payload []byte) (*core.Result, error) {
 // Corrupt disk entries count as misses (and are expunged) — the caller
 // recomputes and Puts the fresh result.
 func (c *Cache) Get(digest string) (*core.Result, bool) {
+	res, _, ok := c.get(digest)
+	return res, ok
+}
+
+// GetCtx is Get with telemetry: when the context carries a request trace
+// the lookup is recorded as a "cache.get" span whose outcome attribute
+// names the serving level ("mem", "disk", "miss"), and disk promotions are
+// logged through the context's structured logger.
+func (c *Cache) GetCtx(ctx context.Context, digest string) (*core.Result, bool) {
+	sp := telemetry.TraceFrom(ctx).StartSpan("cache.get",
+		telemetry.A("digest", shortKey(digest)))
+	res, source, ok := c.get(digest)
+	sp.SetAttr("outcome", source)
+	sp.End()
+	if source == "disk" {
+		tlog.From(ctx).Debug("cache disk promote", tlog.F("digest", shortKey(digest)))
+	}
+	return res, ok
+}
+
+// get is the shared lookup; source reports the serving level ("mem",
+// "disk", "miss").
+func (c *Cache) get(digest string) (*core.Result, string, bool) {
 	c.mu.Lock()
 	if e, ok := c.entries[digest]; ok {
 		c.moveToFront(e)
@@ -150,9 +176,9 @@ func (c *Cache) Get(digest string) (*core.Result, bool) {
 			c.stats.MemHits--
 			c.stats.Misses++
 			c.mu.Unlock()
-			return nil, false
+			return nil, "miss", false
 		}
-		return res, true
+		return res, "mem", true
 	}
 	c.mu.Unlock()
 
@@ -163,14 +189,14 @@ func (c *Cache) Get(digest string) (*core.Result, bool) {
 			c.stats.DiskHits++
 			c.insertLocked(digest, payload, resDigest)
 			c.mu.Unlock()
-			return res, true
+			return res, "disk", true
 		}
 	}
 
 	c.mu.Lock()
 	c.stats.Misses++
 	c.mu.Unlock()
-	return nil, false
+	return nil, "miss", false
 }
 
 // Put stores a cell under its digest, in memory and (when enabled) on
@@ -294,4 +320,39 @@ func (c *Cache) Stats() Stats {
 	s.Budget = c.budget
 	s.EntryBytesMean = c.occupancy.Mean()
 	return s
+}
+
+// Register wires the cache into a telemetry registry as a scrape-time
+// collector. Every series derives from one Stats() snapshot — a single
+// lock pass — so a scrape never observes torn counters (e.g. Hits without
+// the matching MemHits/DiskHits split).
+func (c *Cache) Register(reg *telemetry.Registry) {
+	if c == nil {
+		return
+	}
+	reg.RegisterCollector(func(emit telemetry.Emit) {
+		st := c.Stats()
+		emit("parrot_cache_lookups_total", "counter", "Cache lookups by serving level.",
+			float64(st.MemHits), "level", "mem")
+		emit("parrot_cache_lookups_total", "counter", "Cache lookups by serving level.",
+			float64(st.DiskHits), "level", "disk")
+		emit("parrot_cache_lookups_total", "counter", "Cache lookups by serving level.",
+			float64(st.Misses), "level", "miss")
+		emit("parrot_cache_puts_total", "counter", "Results stored.", float64(st.Puts))
+		emit("parrot_cache_evictions_total", "counter", "In-memory LRU evictions.", float64(st.Evictions))
+		emit("parrot_cache_disk_puts_total", "counter", "Results persisted to disk.", float64(st.DiskPuts))
+		emit("parrot_cache_disk_errors_total", "counter", "Corrupt/unwritable disk entries.", float64(st.DiskErrors))
+		emit("parrot_cache_entries", "gauge", "Resident in-memory entries.", float64(st.Entries))
+		emit("parrot_cache_bytes", "gauge", "Resident in-memory payload bytes.", float64(st.Bytes))
+		emit("parrot_cache_budget_bytes", "gauge", "In-memory byte budget.", float64(st.Budget))
+		emit("parrot_cache_hit_rate", "gauge", "Hits per lookup.", st.HitRate())
+	})
+}
+
+// shortKey truncates a content address for span/log attributes.
+func shortKey(d string) string {
+	if len(d) > 12 {
+		return d[:12]
+	}
+	return d
 }

@@ -23,6 +23,7 @@ import (
 
 	"parrot/internal/experiments"
 	"parrot/internal/serve/proto"
+	"parrot/internal/telemetry"
 )
 
 // Client talks to one parrotd instance.
@@ -145,10 +146,56 @@ func (c *Client) Ping(ctx context.Context) error {
 	return err
 }
 
-// Metrics fetches /metricsz.
+// Metrics fetches the legacy JSON metrics body (/metricsz?format=json).
 func (c *Client) Metrics(ctx context.Context) (*proto.Metrics, error) {
 	var out proto.Metrics
-	if err := c.getJSON(ctx, "/metricsz", &out); err != nil {
+	if err := c.getJSON(ctx, "/metricsz?format=json", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// MetricsText fetches the Prometheus text exposition from /metricsz,
+// parsed into series. parrotctl's top/expect views consume this.
+func (c *Client) MetricsText(ctx context.Context) (*telemetry.Exposition, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metricsz", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeErr(resp)
+	}
+	return telemetry.ParseExposition(resp.Body)
+}
+
+// Trace fetches a request's span timeline as raw Chrome trace-event JSON
+// (the /v1/trace/{id} body, suitable for chrome://tracing / Perfetto).
+func (c *Client) Trace(ctx context.Context, requestID string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/trace/"+requestID, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeErr(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// TraceSpans fetches a request's raw span records
+// (/v1/trace/{id}?format=spans).
+func (c *Client) TraceSpans(ctx context.Context, requestID string) (*telemetry.SpansDoc, error) {
+	var out telemetry.SpansDoc
+	if err := c.getJSON(ctx, "/v1/trace/"+requestID+"?format=spans", &out); err != nil {
 		return nil, err
 	}
 	return &out, nil

@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"parrot/internal/metrics"
 	"parrot/internal/serve/client"
 	"parrot/internal/serve/proto"
 	"parrot/internal/workload"
@@ -87,7 +88,25 @@ type Report struct {
 	All      Percentiles `json:"latency"`
 	Cached   Percentiles `json:"cachedLatency"`
 	Uncached Percentiles `json:"uncachedLatency"`
+
+	// Histograms carries the full latency distributions (µs buckets,
+	// geometric bounds) — the machine-readable loadreport.json payload that
+	// lets downstream tooling recompute any quantile or plot the curve
+	// without the raw samples.
+	Histograms *LatencyHists `json:"histograms,omitempty"`
 }
+
+// LatencyHists are fixed-bucket latency distributions in microseconds.
+// Bounds are geometric (10µs·2ⁱ): cached cells serve in tens of µs, cold
+// simulations in tens of ms — only a log-spaced axis resolves both.
+type LatencyHists struct {
+	All      *metrics.Histogram `json:"all"`
+	Cached   *metrics.Histogram `json:"cached"`
+	Uncached *metrics.Histogram `json:"uncached"`
+}
+
+// latencyBounds spans 10µs … ~20s geometrically (factor 2, 22 bounds).
+func latencyBounds() []int { return metrics.ExpBuckets(10, 2, 22) }
 
 type sample struct {
 	us     float64
@@ -274,6 +293,11 @@ func summarize(mode string, cfg Config, samples []sample, elapsed time.Duration)
 	} else {
 		r.DistinctApp = len(cfg.Apps)
 	}
+	hists := &LatencyHists{
+		All:      metrics.NewHistogram(latencyBounds()...),
+		Cached:   metrics.NewHistogram(latencyBounds()...),
+		Uncached: metrics.NewHistogram(latencyBounds()...),
+	}
 	var all, hit, miss []float64
 	for _, s := range samples {
 		if s.err {
@@ -281,13 +305,17 @@ func summarize(mode string, cfg Config, samples []sample, elapsed time.Duration)
 			continue
 		}
 		all = append(all, s.us)
+		hists.All.Add(int(s.us))
 		if s.cached {
 			r.CacheHits++
 			hit = append(hit, s.us)
+			hists.Cached.Add(int(s.us))
 		} else {
 			miss = append(miss, s.us)
+			hists.Uncached.Add(int(s.us))
 		}
 	}
+	r.Histograms = hists
 	if ok := len(all); ok > 0 {
 		r.HitRate = float64(r.CacheHits) / float64(ok)
 	}

@@ -36,6 +36,14 @@ type RunResponse struct {
 	// Cached reports whether the cell was served from the result cache
 	// without touching the worker fleet.
 	Cached bool `json:"cached"`
+	// Disposition refines Cached: how the cell was obtained — "hit" (result
+	// cache), "dedup" (joined an in-flight identical spec), "replayed"
+	// (memo-replay simulation), "exact" (full simulation).
+	Disposition string `json:"disposition,omitempty"`
+	// RequestID is the server-assigned (or client-propagated
+	// X-Parrot-Request-Id) correlation ID; feed it to /v1/trace/{id} for the
+	// request's span timeline.
+	RequestID string `json:"requestId,omitempty"`
 	// ResultDigest is the canonical digest of Result, letting clients verify
 	// transport integrity end-to-end.
 	ResultDigest string `json:"resultDigest"`
@@ -64,15 +72,19 @@ type Progress struct {
 	EtaUs     int64 `json:"etaUs"`
 	// Cached reports whether the just-completed cell came from cache.
 	Cached bool `json:"cached"`
+	// Disposition refines Cached ("hit", "dedup", "replayed", "exact").
+	Disposition string `json:"disposition,omitempty"`
 }
 
 // Cell is one (model, application) result of a matrix response.
 type Cell struct {
-	Model  string       `json:"model"`
-	App    string       `json:"app"`
-	Digest string       `json:"digest"` // RunSpec digest (content address)
-	Cached bool         `json:"cached"`
-	Result *core.Result `json:"result"`
+	Model  string `json:"model"`
+	App    string `json:"app"`
+	Digest string `json:"digest"` // RunSpec digest (content address)
+	Cached bool   `json:"cached"`
+	// Disposition refines Cached ("hit", "dedup", "replayed", "exact").
+	Disposition string       `json:"disposition,omitempty"`
+	Result      *core.Result `json:"result"`
 }
 
 // MatrixResponse is the SSE "result" event payload of /v1/matrix: the full
@@ -87,10 +99,12 @@ type MatrixResponse struct {
 	// CachedCells counts cells served from cache; TotalCells is the fan-out
 	// size — CachedCells/TotalCells is the warm-matrix hit rate the CI smoke
 	// test asserts on.
-	CachedCells int    `json:"cachedCells"`
-	TotalCells  int    `json:"totalCells"`
-	ElapsedUs   int64  `json:"elapsedUs"`
-	Cells       []Cell `json:"cells"`
+	CachedCells int   `json:"cachedCells"`
+	TotalCells  int   `json:"totalCells"`
+	ElapsedUs   int64 `json:"elapsedUs"`
+	// RequestID correlates the matrix with its /v1/trace/{id} timeline.
+	RequestID string `json:"requestId,omitempty"`
+	Cells     []Cell `json:"cells"`
 }
 
 // Error is the JSON error body of non-2xx responses.

@@ -16,12 +16,24 @@
 //     unbounded buffering, and per-caller context cancellation: a waiter
 //     that gives up stops waiting immediately, and a queued job whose
 //     every waiter has gone away is abandoned without simulating.
+//
+// Telemetry: every Submit resolves to a Disposition (cache hit,
+// singleflight dedup, memo replay, exact simulation) that the HTTP layer
+// splits its request metrics by; queue waits land in per-class registry
+// histograms; and a request trace travelling in the context gains spans
+// for the queue residency, machine checkout, the run itself and the cache
+// write-back. Stats counters follow a strict no-torn-reads discipline:
+// each submit outcome increments Submitted *and* its outcome counter
+// inside one critical section, so any Stats() snapshot satisfies
+// Submitted == CacheHits + Deduped + Enqueued + Rejected + DrainRejected
+// exactly (pinned by TestStatsNeverTorn under the race detector).
 package sched
 
 import (
 	"context"
 	"errors"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
@@ -29,6 +41,8 @@ import (
 	"parrot/internal/core"
 	"parrot/internal/experiments"
 	"parrot/internal/serve/cache"
+	"parrot/internal/telemetry"
+	tlog "parrot/internal/telemetry/log"
 )
 
 // Priority selects the queue class of a job.
@@ -39,6 +53,44 @@ const (
 	Interactive Priority = iota
 	Batch
 )
+
+// String returns the queue-class label used in metrics and spans.
+func (p Priority) String() string {
+	if p == Interactive {
+		return "interactive"
+	}
+	return "batch"
+}
+
+// Disposition reports how a Submit was satisfied.
+type Disposition uint8
+
+// Dispositions, in the order a submit tries them.
+const (
+	DispCacheHit Disposition = iota // served from the result cache without queueing
+	DispDeduped                     // joined an in-flight identical spec (singleflight)
+	DispReplayed                    // simulated via hot-window memo replay on a pooled machine
+	DispComputed                    // simulated on the exact cycle engine
+)
+
+// String returns the disposition label used in metrics, spans and wire
+// responses: "hit", "dedup", "replayed", "exact".
+func (d Disposition) String() string {
+	switch d {
+	case DispCacheHit:
+		return "hit"
+	case DispDeduped:
+		return "dedup"
+	case DispReplayed:
+		return "replayed"
+	default:
+		return "exact"
+	}
+}
+
+// Cached reports whether the result came from the cache without touching
+// the worker fleet.
+func (d Disposition) Cached() bool { return d == DispCacheHit }
 
 // Sentinel errors of Submit.
 var (
@@ -58,21 +110,33 @@ type Config struct {
 	// Pool supplies machines (nil = core.DefaultPool). Workers hold one
 	// machine per distinct model locally and return them on shutdown.
 	Pool *core.Pool
+	// Registry, when non-nil, receives the scheduler's service metrics:
+	// per-class queue-wait histograms, per-run simulation totals, and a
+	// scrape-time collector emitting every Stats counter from one
+	// coherent snapshot.
+	Registry *telemetry.Registry
+	// Log, when non-nil, receives structured events (abandoned jobs,
+	// drain lifecycle).
+	Log *tlog.Logger
 }
 
-// Stats counts scheduler traffic.
+// Stats counts scheduler traffic. At any instant,
+// Submitted == CacheHits + Deduped + Enqueued + Rejected + DrainRejected.
 type Stats struct {
-	Submitted uint64 // Submit calls
-	CacheHits uint64 // served from cache without queueing
-	Deduped   uint64 // joined an in-flight identical spec
-	Enqueued  uint64 // entered a queue
-	Rejected  uint64 // bounced on a full queue
-	Completed uint64 // simulations actually executed
-	Replayed  uint64 // completed via hot-window memo replay on a pooled machine
-	Abandoned uint64 // queued jobs dropped because every waiter left
+	Submitted     uint64 // Submit calls
+	CacheHits     uint64 // served from cache without queueing
+	Deduped       uint64 // joined an in-flight identical spec
+	Enqueued      uint64 // entered a queue
+	Rejected      uint64 // bounced on a full queue
+	DrainRejected uint64 // bounced because the scheduler is draining
+	Completed     uint64 // simulations actually executed
+	Replayed      uint64 // completed via hot-window memo replay on a pooled machine
+	Abandoned     uint64 // queued jobs dropped because every waiter left
 
-	SimInsts uint64        // dynamic instructions simulated (measured window)
-	BusyTime time.Duration // cumulative worker time spent simulating
+	SimInsts  uint64        // dynamic instructions simulated (measured window)
+	SimCycles uint64        // simulated cycles across completed runs
+	DynEnergy float64       // dynamic energy total across completed runs
+	BusyTime  time.Duration // cumulative worker time spent simulating
 
 	Running          int // workers currently simulating
 	InteractiveDepth int
@@ -95,14 +159,19 @@ type flight struct {
 	done    chan struct{}
 	res     *core.Result
 	err     error
-	waiters int // live waiters; 0 allows abandonment while queued
+	disp    Disposition // how the flight itself completed (exact/replayed)
+	waiters int         // live waiters; 0 allows abandonment while queued
 }
 
 // job is one queued unit of work.
 type job struct {
-	spec   experiments.RunSpec
-	digest string
-	fl     *flight
+	spec       experiments.RunSpec
+	digest     string
+	fl         *flight
+	pri        Priority
+	tr         *telemetry.Trace // first waiter's request trace (may be nil)
+	enqueuedAt time.Time
+	popAt      time.Time // set when a worker takes the job
 }
 
 // Sched dispatches RunSpecs onto a worker fleet. All methods are safe for
@@ -110,6 +179,7 @@ type job struct {
 type Sched struct {
 	cfg      Config
 	pool     *core.Pool
+	log      *tlog.Logger
 	mu       sync.Mutex
 	cond     *sync.Cond
 	qi, qb   []*job // interactive / batch FIFOs
@@ -117,6 +187,13 @@ type Sched struct {
 	draining bool
 	stats    Stats
 	wg       sync.WaitGroup
+
+	// Registry instruments (nil when no registry: all no-ops).
+	queueWait [2]*telemetry.Histogram // per priority class
+	runsTotal [2]*telemetry.Counter   // exact / replayed
+	simInsts  *telemetry.Counter
+	simCycles *telemetry.Counter
+	dynEnergy *telemetry.Counter
 
 	// testHookBeforeRun, when set, runs on the worker goroutine after a job
 	// is popped and before it simulates — the seam the dedup/priority tests
@@ -135,6 +212,7 @@ func New(cfg Config) *Sched {
 	s := &Sched{
 		cfg:      cfg,
 		pool:     cfg.Pool,
+		log:      cfg.Log.With(tlog.F("component", "sched")),
 		inflight: make(map[string]*flight),
 	}
 	if s.pool == nil {
@@ -142,6 +220,29 @@ func New(cfg Config) *Sched {
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.stats.Workers = cfg.Workers
+
+	// Registry wiring: event-time instruments plus one scrape-time
+	// collector over a single Stats snapshot. Everything is nil-safe, so
+	// an unconfigured registry costs one nil check per event.
+	reg := cfg.Registry
+	waitBounds := []float64{0.0001, 0.0005, 0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10, 60}
+	for _, pri := range []Priority{Interactive, Batch} {
+		s.queueWait[pri] = reg.Histogram("parrot_queue_wait_seconds",
+			"Time jobs spend queued before a worker pops them, by priority class.",
+			waitBounds, "class", pri.String())
+	}
+	s.runsTotal[0] = reg.Counter("parrot_sim_runs_total",
+		"Simulations completed by the worker fleet, by memo disposition.", "memo", "exact")
+	s.runsTotal[1] = reg.Counter("parrot_sim_runs_total",
+		"Simulations completed by the worker fleet, by memo disposition.", "memo", "replayed")
+	s.simInsts = reg.Counter("parrot_sim_insts_total",
+		"Dynamic instructions simulated by the worker fleet (measured windows).")
+	s.simCycles = reg.Counter("parrot_sim_cycles_total",
+		"Cycles simulated by the worker fleet.")
+	s.dynEnergy = reg.Counter("parrot_sim_energy_dyn_total",
+		"Dynamic energy accumulated across completed runs (model units).")
+	reg.RegisterCollector(s.collect)
+
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -149,83 +250,135 @@ func New(cfg Config) *Sched {
 	return s
 }
 
+// collect emits every Stats-derived series from one snapshot — a single
+// lock pass, so a scrape never mixes counters from different instants.
+func (s *Sched) collect(emit telemetry.Emit) {
+	st := s.Stats()
+	emit("parrot_sched_submitted_total", "counter", "Submit calls.", float64(st.Submitted))
+	emit("parrot_sched_outcomes_total", "counter", "Submit outcomes (Submitted = sum over outcomes).",
+		float64(st.CacheHits), "outcome", "cache_hit")
+	emit("parrot_sched_outcomes_total", "counter", "Submit outcomes (Submitted = sum over outcomes).",
+		float64(st.Deduped), "outcome", "deduped")
+	emit("parrot_sched_outcomes_total", "counter", "Submit outcomes (Submitted = sum over outcomes).",
+		float64(st.Enqueued), "outcome", "enqueued")
+	emit("parrot_sched_outcomes_total", "counter", "Submit outcomes (Submitted = sum over outcomes).",
+		float64(st.Rejected), "outcome", "rejected")
+	emit("parrot_sched_outcomes_total", "counter", "Submit outcomes (Submitted = sum over outcomes).",
+		float64(st.DrainRejected), "outcome", "drain_rejected")
+	emit("parrot_sched_completed_total", "counter", "Simulations executed.", float64(st.Completed))
+	emit("parrot_sched_replayed_total", "counter", "Simulations completed via memo replay.", float64(st.Replayed))
+	emit("parrot_sched_abandoned_total", "counter", "Queued jobs dropped with no waiters.", float64(st.Abandoned))
+	emit("parrot_sched_busy_seconds_total", "counter", "Cumulative worker time spent simulating.", st.BusyTime.Seconds())
+	emit("parrot_sched_workers", "gauge", "Worker fleet size.", float64(st.Workers))
+	emit("parrot_sched_running", "gauge", "Workers currently simulating.", float64(st.Running))
+	emit("parrot_queue_depth", "gauge", "Jobs waiting in queue, by priority class.",
+		float64(st.InteractiveDepth), "class", "interactive")
+	emit("parrot_queue_depth", "gauge", "Jobs waiting in queue, by priority class.",
+		float64(st.BatchDepth), "class", "batch")
+	emit("parrot_sched_sim_mips", "gauge", "Fleet throughput: simulated Minsts per busy-second.", st.SimMIPS())
+}
+
 // Pool returns the machine pool backing the fleet.
 func (s *Sched) Pool() *core.Pool { return s.pool }
 
 // Submit resolves one spec: cache fast path, then singleflight join or
 // enqueue. It blocks until the cell is available, the context is done, or
-// the scheduler rejects the job. The second return reports whether the
-// result came from cache without simulating.
+// the scheduler rejects the job. The Disposition reports how the result
+// was obtained (cache hit, dedup join, memo replay, exact simulation).
 //
 // Cancellation semantics: a caller whose ctx ends stops waiting
 // immediately (the flight keeps running if other waiters remain, and a
 // finished result still enters the cache). A job still queued when its
 // last waiter leaves is abandoned without simulating.
-func (s *Sched) Submit(ctx context.Context, spec experiments.RunSpec) (*core.Result, bool, error) {
+func (s *Sched) Submit(ctx context.Context, spec experiments.RunSpec) (*core.Result, Disposition, error) {
 	return s.submit(ctx, spec, Interactive)
 }
 
 // SubmitBatch is Submit on the batch (lower-priority, model-affine) queue.
-func (s *Sched) SubmitBatch(ctx context.Context, spec experiments.RunSpec) (*core.Result, bool, error) {
+func (s *Sched) SubmitBatch(ctx context.Context, spec experiments.RunSpec) (*core.Result, Disposition, error) {
 	return s.submit(ctx, spec, Batch)
 }
 
-func (s *Sched) submit(ctx context.Context, spec experiments.RunSpec, pri Priority) (*core.Result, bool, error) {
+func (s *Sched) submit(ctx context.Context, spec experiments.RunSpec, pri Priority) (res *core.Result, disp Disposition, err error) {
 	spec = spec.Normalize()
 	digest := spec.Digest()
 
-	s.mu.Lock()
-	s.stats.Submitted++
-	s.mu.Unlock()
+	tr := telemetry.TraceFrom(ctx)
+	sub := tr.StartSpan("sched.submit",
+		telemetry.A("digest", shortDigest(digest)),
+		telemetry.A("class", pri.String()))
+	defer func() {
+		if err != nil {
+			sub.SetAttr("error", err.Error())
+		} else {
+			sub.SetAttr("disposition", disp.String())
+		}
+		sub.End()
+	}()
 
+	// Cache fast path (outside the scheduler lock: may touch disk). The
+	// stats outcome lands in one critical section either way.
 	if c := s.cfg.Cache; c != nil {
-		if res, ok := c.Get(digest); ok {
+		if r, ok := c.GetCtx(ctx, digest); ok {
 			s.mu.Lock()
+			s.stats.Submitted++
 			s.stats.CacheHits++
 			s.mu.Unlock()
-			return res, true, nil
+			return r, DispCacheHit, nil
 		}
 	}
 
 	s.mu.Lock()
 	if fl, ok := s.inflight[digest]; ok {
 		fl.waiters++
+		s.stats.Submitted++
 		s.stats.Deduped++
 		s.mu.Unlock()
-		return s.wait(ctx, fl)
+		r, _, werr := s.wait(ctx, tr, fl)
+		return r, DispDeduped, werr
 	}
 	if s.draining {
+		s.stats.Submitted++
+		s.stats.DrainRejected++
 		s.mu.Unlock()
-		return nil, false, ErrDraining
+		return nil, DispComputed, ErrDraining
 	}
 	q := &s.qb
 	if pri == Interactive {
 		q = &s.qi
 	}
 	if len(*q) >= s.cfg.QueueCap {
+		s.stats.Submitted++
 		s.stats.Rejected++
 		s.mu.Unlock()
-		return nil, false, ErrQueueFull
+		return nil, DispComputed, ErrQueueFull
 	}
 	fl := &flight{done: make(chan struct{}), waiters: 1}
 	s.inflight[digest] = fl
-	*q = append(*q, &job{spec: spec, digest: digest, fl: fl})
+	*q = append(*q, &job{
+		spec: spec, digest: digest, fl: fl, pri: pri,
+		tr: tr, enqueuedAt: time.Now(),
+	})
+	s.stats.Submitted++
 	s.stats.Enqueued++
 	s.cond.Signal()
 	s.mu.Unlock()
-	return s.wait(ctx, fl)
+	return s.wait(ctx, tr, fl)
 }
 
 // wait blocks on the flight or the caller's context, whichever ends first.
-func (s *Sched) wait(ctx context.Context, fl *flight) (*core.Result, bool, error) {
+func (s *Sched) wait(ctx context.Context, tr *telemetry.Trace, fl *flight) (*core.Result, Disposition, error) {
+	sp := tr.StartSpan("sched.wait")
+	defer sp.End()
 	select {
 	case <-fl.done:
-		return fl.res, false, fl.err
+		return fl.res, fl.disp, fl.err
 	case <-ctx.Done():
 		s.mu.Lock()
 		fl.waiters--
 		s.mu.Unlock()
-		return nil, false, ctx.Err()
+		sp.SetAttr("error", ctx.Err().Error())
+		return nil, DispComputed, ctx.Err()
 	}
 }
 
@@ -240,13 +393,11 @@ func (s *Sched) next(last config.Model, haveLast bool) *job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
+		var j *job
 		if len(s.qi) > 0 {
-			j := s.qi[0]
+			j = s.qi[0]
 			s.qi = popFront(s.qi)
-			s.stats.Running++
-			return j
-		}
-		if len(s.qb) > 0 {
+		} else if len(s.qb) > 0 {
 			idx := 0
 			if haveLast {
 				n := len(s.qb)
@@ -260,15 +411,21 @@ func (s *Sched) next(last config.Model, haveLast bool) *job {
 					}
 				}
 			}
-			j := s.qb[idx]
+			j = s.qb[idx]
 			s.qb = append(s.qb[:idx], s.qb[idx+1:]...)
-			s.stats.Running++
-			return j
+		} else {
+			if s.draining {
+				return nil
+			}
+			s.cond.Wait()
+			continue
 		}
-		if s.draining {
-			return nil
-		}
-		s.cond.Wait()
+		s.stats.Running++
+		j.popAt = time.Now()
+		s.queueWait[j.pri].Observe(j.popAt.Sub(j.enqueuedAt).Seconds())
+		j.tr.AddSpan("sched.queued", telemetry.TIDWorker, j.enqueuedAt, j.popAt,
+			telemetry.A("class", j.pri.String()))
+		return j
 	}
 }
 
@@ -313,10 +470,13 @@ func (s *Sched) worker() {
 		}
 		s.mu.Unlock()
 		if abandoned {
+			s.log.Debug("job abandoned", tlog.F("digest", shortDigest(j.digest)),
+				tlog.F("model", string(j.spec.Model.ID)), tlog.F("app", j.spec.App.Name))
 			continue
 		}
 
 		m := local[j.spec.Model]
+		pooled := m != nil
 		if m == nil {
 			m = s.pool.Get(j.spec.Model) // arrives reset
 			local[j.spec.Model] = m
@@ -324,20 +484,47 @@ func (s *Sched) worker() {
 			m.Reset()
 		}
 		last, haveLast = j.spec.Model, true
+		gotM := time.Now()
+		j.tr.AddSpan("machine.checkout", telemetry.TIDWorker, j.popAt, gotM,
+			telemetry.A("model", string(j.spec.Model.ID)),
+			telemetry.A("pooled", strconv.FormatBool(pooled)))
 
 		// Worker machines keep their memo chain tables across jobs (Reset
 		// preserves them), so a spec that misses the result cache but was
 		// simulated before on this machine replays instead of re-simulating.
 		preReplays := m.MemoStats().RunsReplayed
-		start := time.Now()
 		res := core.RunWarmOn(m, j.spec.App, j.spec.Insts)
-		busy := time.Since(start)
+		doneT := time.Now()
+		busy := doneT.Sub(gotM)
 		replayed := m.MemoStats().RunsReplayed > preReplays
+
+		disp := DispComputed
+		if replayed {
+			disp = DispReplayed
+		}
+		// Per-run totals surface through the same RunSummary record the
+		// matrix export and CLI -json outputs use.
+		sum := experiments.Summarize(res, 0)
+		s.simInsts.Add(float64(sum.Insts))
+		s.simCycles.Add(float64(sum.Cycles))
+		s.dynEnergy.Add(sum.DynEnergy)
+		if replayed {
+			s.runsTotal[1].Inc()
+		} else {
+			s.runsTotal[0].Inc()
+		}
+		j.tr.AddSpan("sim.run", telemetry.TIDWorker, gotM, doneT,
+			telemetry.A("model", string(j.spec.Model.ID)),
+			telemetry.A("app", j.spec.App.Name),
+			telemetry.A("insts", strconv.FormatUint(sum.Insts, 10)),
+			telemetry.A("memo", disp.String()))
 
 		if c := s.cfg.Cache; c != nil {
 			// Disk write errors are non-fatal: the result is still returned
 			// and memory-cached; the cache counts the error.
 			_ = c.Put(j.digest, res)
+			j.tr.AddSpan("cache.put", telemetry.TIDWorker, doneT, time.Now(),
+				telemetry.A("digest", shortDigest(j.digest)))
 		}
 
 		s.mu.Lock()
@@ -346,10 +533,13 @@ func (s *Sched) worker() {
 			s.stats.Replayed++
 		}
 		s.stats.SimInsts += res.Insts
+		s.stats.SimCycles += res.Cycles
+		s.stats.DynEnergy += res.DynEnergy
 		s.stats.BusyTime += busy
 		s.stats.Running--
 		delete(s.inflight, j.digest)
 		j.fl.res = res
+		j.fl.disp = disp
 		close(j.fl.done)
 		s.mu.Unlock()
 	}
@@ -362,6 +552,7 @@ func (s *Sched) Drain(ctx context.Context) error {
 	s.draining = true
 	s.cond.Broadcast()
 	s.mu.Unlock()
+	s.log.Info("draining")
 
 	doneCh := make(chan struct{})
 	go func() {
@@ -370,6 +561,7 @@ func (s *Sched) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-doneCh:
+		s.log.Info("drained")
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
@@ -383,7 +575,9 @@ func (s *Sched) Draining() bool {
 	return s.draining
 }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters, taken in one critical section
+// — queue depths, completion counters and busy time all reflect the same
+// instant.
 func (s *Sched) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -391,4 +585,12 @@ func (s *Sched) Stats() Stats {
 	st.InteractiveDepth = len(s.qi)
 	st.BatchDepth = len(s.qb)
 	return st
+}
+
+// shortDigest truncates a content address for span/log attributes.
+func shortDigest(d string) string {
+	if len(d) > 12 {
+		return d[:12]
+	}
+	return d
 }

@@ -38,23 +38,26 @@ func TestSubmitComputesAndCaches(t *testing.T) {
 	defer s.Drain(context.Background())
 
 	sp := spec(t, config.TON, "gzip", 5000)
-	res, cached, err := s.Submit(context.Background(), sp)
+	res, disp, err := s.Submit(context.Background(), sp)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cached {
+	if disp.Cached() {
 		t.Fatal("first submit reported a cache hit")
+	}
+	if disp != DispComputed && disp != DispReplayed {
+		t.Fatalf("first submit disposition = %v, want a simulation", disp)
 	}
 	if res == nil || res.Insts == 0 {
 		t.Fatal("empty result")
 	}
 	// Second submit: cache fast path, bit-identical result.
-	res2, cached2, err := s.Submit(context.Background(), sp)
+	res2, disp2, err := s.Submit(context.Background(), sp)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !cached2 {
-		t.Fatal("second submit missed the cache")
+	if disp2 != DispCacheHit {
+		t.Fatalf("second submit disposition = %v, want DispCacheHit", disp2)
 	}
 	if experiments.ResultDigest(res2) != experiments.ResultDigest(res) {
 		t.Fatal("cached result differs from computed result")
@@ -304,15 +307,107 @@ func TestDrainStillServesCache(t *testing.T) {
 	if err := s.Drain(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	got, cached, err := s.Submit(context.Background(), sp)
+	got, disp, err := s.Submit(context.Background(), sp)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !cached {
+	if !disp.Cached() {
 		t.Fatal("drained scheduler did not serve the cached cell")
 	}
 	if experiments.ResultDigest(got) != experiments.ResultDigest(res) {
 		t.Fatal("cached result differs after drain")
+	}
+}
+
+// TestStatsNeverTorn hammers Submit from many goroutines while a scraper
+// continuously snapshots Stats, asserting the submit-outcome invariant
+//
+//	Submitted == CacheHits + Deduped + Enqueued + Rejected + DrainRejected
+//
+// on every snapshot. Before the single-critical-section fix, Submitted was
+// incremented in a separate lock acquisition from its outcome counter, so
+// a concurrent scrape could observe a submit without its outcome — exactly
+// the torn read /metricsz must never serve. Run under -race this also
+// exercises every instrument the scheduler publishes.
+func TestStatsNeverTorn(t *testing.T) {
+	s := New(Config{Workers: 4, QueueCap: 8, Cache: newCache(t), Pool: core.NewPool()})
+	defer s.Drain(context.Background())
+
+	stop := make(chan struct{})
+	var scrapes, torn int
+	var scraperWG sync.WaitGroup
+	scraperWG.Add(1)
+	go func() {
+		defer scraperWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			st := s.Stats()
+			scrapes++
+			if st.Submitted != st.CacheHits+st.Deduped+st.Enqueued+st.Rejected+st.DrainRejected {
+				torn++
+				t.Errorf("torn stats: submitted=%d != hits=%d + deduped=%d + enqueued=%d + rejected=%d + drainRejected=%d",
+					st.Submitted, st.CacheHits, st.Deduped, st.Enqueued, st.Rejected, st.DrainRejected)
+				return
+			}
+		}
+	}()
+
+	// Mixed traffic: few distinct specs (maximizes cache hits and dedup
+	// joins), a tiny queue (forces rejections), both priority classes.
+	specs := []experiments.RunSpec{
+		spec(t, config.N, "gzip", 2000),
+		spec(t, config.N, "swim", 2000),
+		spec(t, config.TON, "gzip", 2000),
+	}
+	const submitters, perSubmitter = 8, 40
+	var wg sync.WaitGroup
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perSubmitter; i++ {
+				sp := specs[(g+i)%len(specs)]
+				if i%2 == 0 {
+					s.Submit(context.Background(), sp) //nolint:errcheck — ErrQueueFull is expected traffic here
+				} else {
+					s.SubmitBatch(context.Background(), sp)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	scraperWG.Wait()
+
+	if torn != 0 {
+		t.Fatalf("%d torn snapshots out of %d scrapes", torn, scrapes)
+	}
+	st := s.Stats()
+	if st.Submitted != uint64(submitters*perSubmitter) {
+		t.Fatalf("submitted = %d, want %d", st.Submitted, submitters*perSubmitter)
+	}
+	if st.CacheHits == 0 || st.Completed == 0 {
+		t.Fatalf("traffic mix degenerate: %+v", st)
+	}
+}
+
+// TestDispositionLabels pins the wire labels the metrics, spans and
+// responses share.
+func TestDispositionLabels(t *testing.T) {
+	for d, want := range map[Disposition]string{
+		DispCacheHit: "hit", DispDeduped: "dedup",
+		DispReplayed: "replayed", DispComputed: "exact",
+	} {
+		if d.String() != want {
+			t.Errorf("%d.String() = %q, want %q", d, d.String(), want)
+		}
+	}
+	if !DispCacheHit.Cached() || DispDeduped.Cached() || DispReplayed.Cached() || DispComputed.Cached() {
+		t.Error("Cached() wrong for some disposition")
 	}
 }
 

@@ -1,0 +1,198 @@
+// Package log is the serving layer's structured, leveled JSON logger
+// (zero dependencies, stdlib encoding/json only). One line per event:
+//
+//	{"ts":"2026-08-08T12:00:00.000Z","level":"info","msg":"request served",
+//	 "reqID":"a1b2c3d4e5f60708","route":"run","status":200,"us":412}
+//
+// Loggers are immutable views over a shared sink: With(...) returns a
+// child carrying bound fields (the request ID, the component name), so
+// every line a request touches carries its ID without threading it
+// through call sites — the logger rides the context.
+//
+// A nil *Logger is a valid no-op logger, so library code logs
+// unconditionally and tests pay nothing.
+package log
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level orders log severities.
+type Level int8
+
+// Severities, ascending.
+const (
+	LevelDebug Level = -4
+	LevelInfo  Level = 0
+	LevelWarn  Level = 4
+	LevelError Level = 8
+)
+
+// String returns the canonical lowercase level name.
+func (l Level) String() string {
+	switch {
+	case l < LevelInfo:
+		return "debug"
+	case l < LevelWarn:
+		return "info"
+	case l < LevelError:
+		return "warn"
+	default:
+		return "error"
+	}
+}
+
+// ParseLevel resolves a level name ("debug", "info", "warn", "error").
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return LevelDebug, nil
+	case "info", "":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return LevelInfo, fmt.Errorf("log: unknown level %q", s)
+}
+
+// Field is one structured key/value pair.
+type Field struct {
+	Key string
+	Val any
+}
+
+// F builds a field.
+func F(key string, val any) Field { return Field{key, val} }
+
+// sink serializes writes to the shared destination.
+type sink struct {
+	mu sync.Mutex
+	w  io.Writer
+	// now is the clock (stubbed in tests for stable output).
+	now func() time.Time
+}
+
+// Logger is an immutable leveled JSON logger. The zero value is not
+// usable; construct with New. A nil *Logger is a no-op.
+type Logger struct {
+	s    *sink
+	min  Level
+	base []Field
+}
+
+// New builds a logger writing JSON lines at or above min to w.
+func New(w io.Writer, min Level) *Logger {
+	return &Logger{s: &sink{w: w, now: time.Now}, min: min}
+}
+
+// With returns a child logger with extra bound fields.
+func (l *Logger) With(fields ...Field) *Logger {
+	if l == nil || len(fields) == 0 {
+		return l
+	}
+	base := make([]Field, 0, len(l.base)+len(fields))
+	base = append(base, l.base...)
+	base = append(base, fields...)
+	return &Logger{s: l.s, min: l.min, base: base}
+}
+
+// Enabled reports whether a level would be emitted.
+func (l *Logger) Enabled(lv Level) bool { return l != nil && lv >= l.min }
+
+// Debug logs at debug level.
+func (l *Logger) Debug(msg string, fields ...Field) { l.log(LevelDebug, msg, fields) }
+
+// Info logs at info level.
+func (l *Logger) Info(msg string, fields ...Field) { l.log(LevelInfo, msg, fields) }
+
+// Warn logs at warn level.
+func (l *Logger) Warn(msg string, fields ...Field) { l.log(LevelWarn, msg, fields) }
+
+// Error logs at error level.
+func (l *Logger) Error(msg string, fields ...Field) { l.log(LevelError, msg, fields) }
+
+func (l *Logger) log(lv Level, msg string, fields []Field) {
+	if !l.Enabled(lv) {
+		return
+	}
+	// Hand-rolled object encoding keeps key order stable (ts, level, msg,
+	// bound fields, call fields) — greppable logs beat map-ordered ones —
+	// while every value goes through encoding/json for correctness.
+	var b []byte
+	b = append(b, `{"ts":`...)
+	b = appendJSON(b, l.s.now().UTC().Format(time.RFC3339Nano))
+	b = append(b, `,"level":`...)
+	b = appendJSON(b, lv.String())
+	b = append(b, `,"msg":`...)
+	b = appendJSON(b, msg)
+	seen := map[string]bool{"ts": true, "level": true, "msg": true}
+	emit := func(fs []Field) {
+		for _, f := range fs {
+			if f.Key == "" || seen[f.Key] {
+				continue
+			}
+			seen[f.Key] = true
+			b = append(b, ',')
+			b = appendJSON(b, f.Key)
+			b = append(b, ':')
+			b = appendJSON(b, normalize(f.Val))
+		}
+	}
+	emit(l.base)
+	emit(fields)
+	b = append(b, '}', '\n')
+
+	l.s.mu.Lock()
+	_, _ = l.s.w.Write(b)
+	l.s.mu.Unlock()
+}
+
+// normalize converts values JSON can't encode (errors, durations) into
+// loggable forms.
+func normalize(v any) any {
+	switch x := v.(type) {
+	case error:
+		return x.Error()
+	case time.Duration:
+		return x.String()
+	case fmt.Stringer:
+		return x.String()
+	}
+	return v
+}
+
+func appendJSON(b []byte, v any) []byte {
+	enc, err := json.Marshal(v)
+	if err != nil {
+		enc, _ = json.Marshal(fmt.Sprintf("%v", v))
+	}
+	return append(b, enc...)
+}
+
+// ---------------------------------------------------------------------------
+// Context plumbing
+// ---------------------------------------------------------------------------
+
+type loggerKey struct{}
+
+// WithContext attaches a logger to a context.
+func WithContext(ctx context.Context, l *Logger) context.Context {
+	if l == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, loggerKey{}, l)
+}
+
+// From returns the context's logger; a nil (no-op) logger when absent.
+func From(ctx context.Context) *Logger {
+	l, _ := ctx.Value(loggerKey{}).(*Logger)
+	return l
+}

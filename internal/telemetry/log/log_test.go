@@ -1,0 +1,144 @@
+package log
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func fixedClock() time.Time {
+	return time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+}
+
+func newTestLogger(min Level) (*Logger, *bytes.Buffer) {
+	var buf bytes.Buffer
+	l := New(&buf, min)
+	l.s.now = fixedClock
+	return l, &buf
+}
+
+func TestJSONLines(t *testing.T) {
+	l, buf := newTestLogger(LevelInfo)
+	l.Info("request served", F("route", "run"), F("status", 200), F("us", int64(412)))
+
+	line := strings.TrimSuffix(buf.String(), "\n")
+	var m map[string]any
+	if err := json.Unmarshal([]byte(line), &m); err != nil {
+		t.Fatalf("log line is not JSON: %v (%q)", err, line)
+	}
+	if m["level"] != "info" || m["msg"] != "request served" || m["route"] != "run" {
+		t.Fatalf("line = %v", m)
+	}
+	if m["status"] != float64(200) || m["us"] != float64(412) {
+		t.Fatalf("numeric fields = %v", m)
+	}
+	if m["ts"] != "2026-08-08T12:00:00Z" {
+		t.Fatalf("ts = %v", m["ts"])
+	}
+	// Key order is stable: ts, level, msg first.
+	if !strings.HasPrefix(line, `{"ts":"2026-08-08T12:00:00Z","level":"info","msg":"request served"`) {
+		t.Fatalf("unstable key order: %s", line)
+	}
+}
+
+func TestLevelsFilter(t *testing.T) {
+	l, buf := newTestLogger(LevelWarn)
+	l.Debug("d")
+	l.Info("i")
+	l.Warn("w")
+	l.Error("e")
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d, want 2 (warn+error): %q", len(lines), buf.String())
+	}
+	if !strings.Contains(lines[0], `"level":"warn"`) || !strings.Contains(lines[1], `"level":"error"`) {
+		t.Fatalf("lines = %v", lines)
+	}
+	if !l.Enabled(LevelError) || l.Enabled(LevelInfo) {
+		t.Fatal("Enabled() disagrees with filter")
+	}
+}
+
+func TestWithBindsFields(t *testing.T) {
+	l, buf := newTestLogger(LevelInfo)
+	reqLog := l.With(F("reqID", "abc123"), F("component", "sched"))
+	reqLog.Info("queued")
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["reqID"] != "abc123" || m["component"] != "sched" {
+		t.Fatalf("bound fields missing: %v", m)
+	}
+	// Call-site fields may not override bound ones (first write wins), and
+	// the parent logger is unchanged.
+	buf.Reset()
+	reqLog.Info("x", F("reqID", "OTHER"))
+	if !strings.Contains(buf.String(), `"reqID":"abc123"`) || strings.Contains(buf.String(), "OTHER") {
+		t.Fatalf("bound field overridden: %s", buf.String())
+	}
+	buf.Reset()
+	l.Info("plain")
+	if strings.Contains(buf.String(), "abc123") {
+		t.Fatal("With mutated the parent logger")
+	}
+}
+
+func TestValueNormalization(t *testing.T) {
+	l, buf := newTestLogger(LevelInfo)
+	l.Info("m", F("err", errors.New("boom")), F("took", 1500*time.Millisecond))
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["err"] != "boom" || m["took"] != "1.5s" {
+		t.Fatalf("normalized fields = %v", m)
+	}
+}
+
+func TestNilLoggerSafe(t *testing.T) {
+	var l *Logger
+	l.Debug("d")
+	l.Info("i", F("k", "v"))
+	l.Warn("w")
+	l.Error("e")
+	if l.With(F("a", "b")) != nil {
+		t.Fatal("With on nil returned non-nil")
+	}
+	if l.Enabled(LevelError) {
+		t.Fatal("nil logger claims enabled")
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	l, buf := newTestLogger(LevelInfo)
+	ctx := WithContext(context.Background(), l.With(F("reqID", "ctx1")))
+	From(ctx).Info("via context")
+	if !strings.Contains(buf.String(), `"reqID":"ctx1"`) {
+		t.Fatalf("context logger lost fields: %s", buf.String())
+	}
+	// Absent logger → no-op nil.
+	From(context.Background()).Info("dropped")
+	if strings.Contains(buf.String(), "dropped") {
+		t.Fatal("no-op logger wrote")
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]Level{
+		"debug": LevelDebug, "info": LevelInfo, "": LevelInfo,
+		"warn": LevelWarn, "warning": LevelWarn, "ERROR": LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseLevel(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("bad level accepted")
+	}
+}

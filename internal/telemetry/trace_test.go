@@ -1,0 +1,191 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestTraceSpansRecordAndOrder(t *testing.T) {
+	tr := NewTrace("req1")
+	base := tr.Start()
+
+	// Explicit-timestamp spans tiling a queue→checkout→run sequence.
+	tr.AddSpan("sched.queued", TIDWorker, base, base.Add(10*time.Millisecond))
+	tr.AddSpan("machine.checkout", TIDWorker, base.Add(10*time.Millisecond), base.Add(12*time.Millisecond))
+	tr.AddSpan("sim.run", TIDWorker, base.Add(12*time.Millisecond), base.Add(50*time.Millisecond),
+		A("model", "TON"), A("app", "gzip"))
+	tr.AddSpan("http.request", TIDRequest, base, base.Add(51*time.Millisecond), A("route", "run"))
+
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("spans = %d, want 4", len(spans))
+	}
+	// Sorted by start offset; root starts at 0.
+	if spans[0].StartUs != 0 {
+		t.Fatalf("first span starts at %dµs", spans[0].StartUs)
+	}
+	byName := map[string]Span{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	root := byName["http.request"]
+	for _, name := range []string{"sched.queued", "machine.checkout", "sim.run"} {
+		s := byName[name]
+		if s.StartUs < root.StartUs || s.End() > root.End() {
+			t.Fatalf("%s [%d,%d] not nested in root [%d,%d]", name, s.StartUs, s.End(), root.StartUs, root.End())
+		}
+	}
+	// Tiling: queued ends where checkout starts, checkout ends where run starts.
+	if byName["sched.queued"].End() != byName["machine.checkout"].StartUs {
+		t.Fatal("queued does not tile into checkout")
+	}
+	if byName["machine.checkout"].End() != byName["sim.run"].StartUs {
+		t.Fatal("checkout does not tile into run")
+	}
+	if byName["sim.run"].Attrs["model"] != "TON" || byName["sim.run"].Attrs["app"] != "gzip" {
+		t.Fatalf("sim.run attrs = %v", byName["sim.run"].Attrs)
+	}
+}
+
+func TestActiveSpanAndContext(t *testing.T) {
+	tr := NewTrace("req2")
+	ctx := WithTrace(context.Background(), tr)
+	got := TraceFrom(ctx)
+	if got != tr {
+		t.Fatal("trace did not round-trip through context")
+	}
+	sp := got.StartSpan("cache.get", A("digest", "abc"))
+	sp.SetAttr("outcome", "miss")
+	sp.End()
+	spans := tr.Spans()
+	if len(spans) != 1 || spans[0].Name != "cache.get" {
+		t.Fatalf("spans = %+v", spans)
+	}
+	if spans[0].Attrs["digest"] != "abc" || spans[0].Attrs["outcome"] != "miss" {
+		t.Fatalf("attrs = %v", spans[0].Attrs)
+	}
+	if TraceFrom(context.Background()) != nil {
+		t.Fatal("empty context returned a trace")
+	}
+}
+
+func TestNilTraceSafe(t *testing.T) {
+	var tr *Trace
+	sp := tr.StartSpan("x")
+	sp.SetAttr("k", "v")
+	sp.End()
+	tr.AddSpan("y", TIDRequest, time.Now(), time.Now())
+	if tr.Spans() != nil || tr.ID() != "" || tr.Dropped() != 0 {
+		t.Fatal("nil trace not inert")
+	}
+	var st *TraceStore
+	st.Put(tr)
+	if _, ok := st.Get("x"); ok || st.Len() != 0 {
+		t.Fatal("nil store not inert")
+	}
+}
+
+func TestTraceStoreRing(t *testing.T) {
+	st := NewTraceStore(3)
+	for i := 0; i < 5; i++ {
+		st.Put(NewTrace(fmt.Sprintf("r%d", i)))
+	}
+	if st.Len() != 3 {
+		t.Fatalf("len = %d, want 3", st.Len())
+	}
+	for _, id := range []string{"r0", "r1"} {
+		if _, ok := st.Get(id); ok {
+			t.Fatalf("%s not evicted", id)
+		}
+	}
+	for _, id := range []string{"r2", "r3", "r4"} {
+		if _, ok := st.Get(id); !ok {
+			t.Fatalf("%s missing", id)
+		}
+	}
+	// Re-using an ID replaces without eviction.
+	st.Put(NewTrace("r4"))
+	if st.Len() != 3 {
+		t.Fatalf("len after replace = %d, want 3", st.Len())
+	}
+}
+
+// TestChromeTraceExportParses pins the Chrome trace-event export: valid
+// JSON, "X" complete events with µs ts/dur, span attrs as args.
+func TestChromeTraceExportParses(t *testing.T) {
+	tr := NewTrace("reqX")
+	base := tr.Start()
+	tr.AddSpan("http.request", TIDRequest, base, base.Add(2*time.Millisecond), A("route", "run"))
+	tr.AddSpan("sim.run", TIDWorker, base.Add(time.Millisecond), base.Add(2*time.Millisecond))
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   int64          `json:"ts"`
+			Dur  int64          `json:"dur"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string         `json:"displayTimeUnit"`
+		OtherData       map[string]any `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace did not parse: %v", err)
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("events = %d, want 2", len(doc.TraceEvents))
+	}
+	if doc.OtherData["requestId"] != "reqX" {
+		t.Fatalf("otherData = %v", doc.OtherData)
+	}
+	ev := doc.TraceEvents[0]
+	if ev.Ph != "X" || ev.Name != "http.request" || ev.Dur != 2000 || ev.Args["route"] != "run" {
+		t.Fatalf("event = %+v", ev)
+	}
+	if doc.TraceEvents[1].Tid != TIDWorker {
+		t.Fatal("worker span lost its display row")
+	}
+
+	// Raw-span export round-trips too.
+	buf.Reset()
+	if err := tr.WriteSpansJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var sd SpansDoc
+	if err := json.Unmarshal(buf.Bytes(), &sd); err != nil {
+		t.Fatal(err)
+	}
+	if sd.RequestID != "reqX" || len(sd.Spans) != 2 {
+		t.Fatalf("spans doc = %+v", sd)
+	}
+}
+
+func TestSpanCap(t *testing.T) {
+	tr := NewTrace("cap")
+	base := tr.Start()
+	for i := 0; i < maxSpans+10; i++ {
+		tr.AddSpan("s", TIDRequest, base, base)
+	}
+	if len(tr.Spans()) != maxSpans {
+		t.Fatalf("spans = %d, want cap %d", len(tr.Spans()), maxSpans)
+	}
+	if tr.Dropped() != 10 {
+		t.Fatalf("dropped = %d, want 10", tr.Dropped())
+	}
+}
+
+func TestNewRequestID(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if len(a) != 16 || a == b {
+		t.Fatalf("ids = %q, %q", a, b)
+	}
+}
