@@ -10,6 +10,14 @@
 //	parrotctl metrics
 //	parrotctl top [-watch 2s] [-raw] [-expect 'series op value']...
 //	parrotctl trace -id <requestID> [-table] [-o trace.json]
+//	parrotctl cluster [-watch 2s] [-expect 'series op value']...
+//
+// Against a clustered parrotd, "cluster" renders the node's membership
+// view: ring layout with ownership shares, per-node health states and
+// breaker circuits, plus the forward/hedge/rescue counters scraped from
+// /metricsz. "matrix -verify-owners" rebuilds the ring client-side and
+// asserts every cache-hit cell was served by its ring owner — the
+// cross-node cache-ownership proof the cluster smoke test gates on.
 //
 // Every subcommand accepts -server (default http://127.0.0.1:8044, or
 // $PARROTD when set). The matrix assertions make parrotctl usable as a CI
@@ -48,7 +56,7 @@ func defaultServer() string {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: parrotctl <run|matrix|get|health|metrics|top|trace> [flags]")
+		return fmt.Errorf("usage: parrotctl <run|matrix|get|health|metrics|top|trace|cluster> [flags]")
 	}
 	cmd, rest := args[0], args[1:]
 	switch cmd {
@@ -66,6 +74,8 @@ func run(args []string) error {
 		return cmdTop(rest)
 	case "trace":
 		return cmdTrace(rest)
+	case "cluster":
+		return cmdCluster(rest)
 	default:
 		return fmt.Errorf("parrotctl: unknown subcommand %q", cmd)
 	}
@@ -136,6 +146,7 @@ func cmdMatrix(args []string) error {
 	progress := fs.Bool("progress", false, "relay SSE progress to stderr")
 	expectDigest := fs.String("expect-digest", "", "fail unless the matrix digest equals this value")
 	minCached := fs.Float64("min-cached", -1, "fail unless cachedCells/totalCells >= this fraction")
+	verifyOwn := fs.Bool("verify-owners", false, "rebuild the ring from /clusterz and fail unless every cache-hit cell was served by its ring owner")
 	jsonOut := fs.Bool("json", false, "emit the raw response as JSON (cells included)")
 	fs.Parse(args)
 
@@ -187,6 +198,9 @@ func cmdMatrix(args []string) error {
 			return fmt.Errorf("cached fraction %.3f below required %.3f (%d/%d cells)",
 				frac, *minCached, resp.CachedCells, resp.TotalCells)
 		}
+	}
+	if *verifyOwn {
+		return verifyOwners(ctx, c, resp)
 	}
 	return nil
 }
@@ -254,4 +268,6 @@ func splitList(s string) []string {
 	return out
 }
 
-func us(v int64) string { return time.Duration(v * int64(time.Microsecond)).Round(time.Millisecond).String() }
+func us(v int64) string {
+	return time.Duration(v * int64(time.Microsecond)).Round(time.Millisecond).String()
+}

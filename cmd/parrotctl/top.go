@@ -254,8 +254,11 @@ func cmdTrace(args []string) error {
 		fmt.Println(")")
 		for _, sp := range doc.Spans {
 			row := "req"
-			if sp.TID == telemetry.TIDWorker {
+			switch sp.TID {
+			case telemetry.TIDWorker:
 				row = "wrk"
+			case telemetry.TIDCluster:
+				row = "cls"
 			}
 			attrs := make([]string, 0, len(sp.Attrs))
 			for k, v := range sp.Attrs {

@@ -12,6 +12,16 @@
 //	parrotd -cachemem 268435456 -workers 8   # 256 MiB LRU, 8 workers
 //	parrotd -prewarm                         # pre-build one machine per model
 //	parrotd -loglevel debug -pprof           # verbose logs + /debug/pprof/
+//	parrotd -addr 127.0.0.1:7101 \
+//	  -peers http://127.0.0.1:7101,http://127.0.0.1:7102,http://127.0.0.1:7103
+//	                                         # one node of a 3-node cluster
+//
+// With -peers, N daemons serve as one logical service: cell digests are
+// consistent-hashed onto nodes, non-owned /v1/run requests are forwarded to
+// their owner (one hop max), and /v1/matrix on any node scatters cells
+// across the ring with retry-elsewhere on node death. Peer liveness is
+// probed against /readyz, so draining or still-prewarming nodes are routed
+// around. GET /clusterz exposes the membership view.
 //
 // Operational surface: GET /metricsz serves Prometheus text exposition
 // (?format=json for the legacy body), GET /v1/trace/{requestID} replays a
@@ -34,9 +44,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"parrot/internal/cluster"
 	"parrot/internal/config"
 	"parrot/internal/core"
 	"parrot/internal/serve/api"
@@ -65,6 +77,12 @@ func run() error {
 	logLevel := flag.String("loglevel", "info", "log level: debug, info, warn, error")
 	enablePprof := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	traceBuf := flag.Int("tracebuf", 256, "request traces kept for /v1/trace/{id}")
+	peers := flag.String("peers", "", "comma-separated peer base URLs (enables cluster mode; include this node or let -advertise add it)")
+	advertise := flag.String("advertise", "", "this node's base URL as peers reach it (default http://<bound addr>)")
+	vnodes := flag.Int("vnodes", 0, "consistent-hash virtual nodes per member (0 = 64)")
+	probeInterval := flag.Duration("probeinterval", time.Second, "peer health-probe interval")
+	suspectAfter := flag.Int("suspectafter", 2, "consecutive probe failures before a peer turns suspect")
+	deadAfter := flag.Duration("deadafter", 5*time.Second, "time a still-failing suspect peer may linger before leaving the ring")
 	flag.Parse()
 
 	lv, err := tlog.ParseLevel(*logLevel)
@@ -80,18 +98,6 @@ func run() error {
 	}
 
 	pool := core.NewPool()
-	if *prewarm {
-		// First-request latency matters for a service: construct one machine
-		// per model ahead of demand instead of on the first interactive job.
-		t0 := time.Now()
-		for _, m := range config.All() {
-			pool.Prewarm(m, 1)
-		}
-		logger.Info("prewarmed pool",
-			tlog.F("machines", pool.Size()),
-			tlog.F("took", time.Since(t0).Round(time.Millisecond)))
-	}
-
 	sc := sched.New(sched.Config{
 		Workers:  *workers,
 		QueueCap: *queueCap,
@@ -100,15 +106,9 @@ func run() error {
 		Registry: reg,
 		Log:      logger,
 	})
-	srv := api.New(api.Config{
-		Cache:       c,
-		Sched:       sc,
-		Registry:    reg,
-		Log:         logger,
-		TraceBuf:    *traceBuf,
-		EnablePprof: *enablePprof,
-	})
 
+	// Bind before constructing the cluster so -advertise can default to the
+	// actually-bound address (scripts use -addr 127.0.0.1:0).
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return fmt.Errorf("parrotd: listen: %w", err)
@@ -118,6 +118,58 @@ func run() error {
 		if err := os.WriteFile(*addrFile, []byte(bound), 0o644); err != nil {
 			return fmt.Errorf("parrotd: addrfile: %w", err)
 		}
+	}
+
+	var cl *cluster.Cluster
+	if *peers != "" {
+		self := *advertise
+		if self == "" {
+			self = "http://" + reachableAddr(bound)
+		}
+		cl = cluster.New(cluster.Config{
+			Advertise:     self,
+			Peers:         splitPeers(*peers),
+			VNodes:        *vnodes,
+			ProbeInterval: *probeInterval,
+			SuspectAfter:  *suspectAfter,
+			DeadAfter:     *deadAfter,
+			Registry:      reg,
+			Log:           logger,
+		})
+		logger.Info("cluster mode",
+			tlog.F("advertise", self),
+			tlog.F("peers", *peers),
+			tlog.F("probeInterval", probeInterval.String()),
+			tlog.F("deadAfter", deadAfter.String()))
+	}
+
+	srv := api.New(api.Config{
+		Cache:       c,
+		Sched:       sc,
+		Registry:    reg,
+		Log:         logger,
+		TraceBuf:    *traceBuf,
+		EnablePprof: *enablePprof,
+		Cluster:     cl,
+	})
+
+	if *prewarm {
+		// First-request latency matters for a service: construct one machine
+		// per model ahead of demand. It runs in the background with the
+		// readiness gate held, so the daemon answers /healthz (alive)
+		// immediately while /readyz keeps peers from routing cells here
+		// until the pool is warm.
+		sc.SetReady(false)
+		go func() {
+			t0 := time.Now()
+			for _, m := range config.All() {
+				pool.Prewarm(m, 1)
+			}
+			sc.SetReady(true)
+			logger.Info("prewarmed pool",
+				tlog.F("machines", pool.Size()),
+				tlog.F("took", time.Since(t0).Round(time.Millisecond)))
+		}()
 	}
 	// The one human-facing line (scripts scrape stdout for it); everything
 	// else is structured JSON on stderr.
@@ -132,6 +184,10 @@ func run() error {
 	hs := &http.Server{Handler: srv.Handler()}
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.Serve(ln) }()
+	if cl != nil {
+		cl.Start()
+		defer cl.Stop()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
@@ -165,4 +221,29 @@ func cacheDesc(mem int64, dir string) string {
 		return fmt.Sprintf("%dMiB mem", mem>>20)
 	}
 	return fmt.Sprintf("%dMiB mem + %s", mem>>20, dir)
+}
+
+// splitPeers parses the -peers list, trimming blanks.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, strings.TrimRight(p, "/"))
+		}
+	}
+	return out
+}
+
+// reachableAddr rewrites a wildcard bind ("[::]:7101", "0.0.0.0:7101")
+// into a loopback form peers can dial; explicit hosts pass through.
+func reachableAddr(bound string) string {
+	host, port, err := net.SplitHostPort(bound)
+	if err != nil {
+		return bound
+	}
+	switch host {
+	case "", "::", "0.0.0.0":
+		return net.JoinHostPort("127.0.0.1", port)
+	}
+	return bound
 }

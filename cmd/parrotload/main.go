@@ -36,7 +36,7 @@ func main() {
 }
 
 func run() error {
-	server := flag.String("server", defaultServer(), "parrotd base URL (or $PARROTD)")
+	server := flag.String("server", defaultServer(), "parrotd base URL, or a comma-separated list of cluster nodes to round-robin over (or $PARROTD)")
 	mode := flag.String("mode", "closed", "closed (back-to-back workers) or open (fixed-rate arrivals)")
 	concurrency := flag.Int("concurrency", 8, "closed-loop workers / open-loop in-flight bound")
 	rate := flag.Float64("rate", 50, "open-loop arrival rate (requests/s)")
@@ -53,11 +53,19 @@ func run() error {
 	reportPath := flag.String("report", "", "also write the full JSON report (latency histograms included) to this file, e.g. loadreport.json")
 	flag.Parse()
 
-	c := client.New(*server)
-	ctx := context.Background()
-	if err := c.Ping(ctx); err != nil {
-		return fmt.Errorf("parrotload: server unreachable at %s: %w", *server, err)
+	servers := splitList(*server)
+	if len(servers) == 0 {
+		return fmt.Errorf("parrotload: no server")
 	}
+	clients := make([]*client.Client, len(servers))
+	ctx := context.Background()
+	for i, s := range servers {
+		clients[i] = client.New(s)
+		if err := clients[i].Ping(ctx); err != nil {
+			return fmt.Errorf("parrotload: server unreachable at %s: %w", s, err)
+		}
+	}
+	c := clients[0]
 
 	if *warm {
 		// Warm pass: one batch matrix over the exact cell set, so the
@@ -75,6 +83,7 @@ func run() error {
 
 	report, err := loadgen.Run(ctx, loadgen.Config{
 		Client:      c,
+		Clients:     clients,
 		Mode:        *mode,
 		Concurrency: *concurrency,
 		RateHz:      *rate,

@@ -36,30 +36,35 @@ import (
 	"parrot/internal/workload"
 )
 
-// runRemote serves the cell from a parrotd instance. A reachability error
-// returns (nil, nil): the caller falls back to local simulation with a
+// runRemote serves the cell from a parrotd instance, reporting how many
+// transport attempts the retrying client needed. A reachability error
+// returns (nil, 0, nil): the caller falls back to local simulation with a
 // warning. A reachable server that fails the request is a hard error — the
 // user asked for that server's answer.
-func runRemote(server, modelID, appName string, n int) (*parrot.Result, error) {
+func runRemote(server, modelID, appName string, n int) (*parrot.Result, int, error) {
 	c := client.New(server)
 	ctx := context.Background()
 	if err := c.Ping(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "parrotsim: warning: %s unreachable (%v); falling back to local simulation\n", server, err)
-		return nil, nil
+		return nil, 0, nil
 	}
 	ctx, cancel := context.WithTimeout(ctx, 5*time.Minute)
 	defer cancel()
 	resp, err := c.Run(ctx, proto.RunRequest{Model: modelID, App: appName, Insts: n})
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	disp := "computed"
 	if resp.Cached {
 		disp = "cache hit"
 	}
-	fmt.Fprintf(os.Stderr, "parrotsim: served by %s (%s, %s)\n",
-		server, disp, time.Duration(resp.ElapsedUs*int64(time.Microsecond)).Round(time.Millisecond))
-	return resp.Result, nil
+	by := server
+	if resp.Node != "" && resp.Node != server {
+		by = fmt.Sprintf("%s via %s", resp.Node, server)
+	}
+	fmt.Fprintf(os.Stderr, "parrotsim: served by %s (%s, %s, %d attempt(s))\n",
+		by, disp, time.Duration(resp.ElapsedUs*int64(time.Microsecond)).Round(time.Millisecond), resp.Attempts)
+	return resp.Result, resp.Attempts, nil
 }
 
 // runTraceFile replays a captured trace on the named model, with the
@@ -123,6 +128,7 @@ func main() {
 
 	var r *parrot.Result
 	var err error
+	attempts := 0
 	switch {
 	case *traceFile != "":
 		if *remote != "" {
@@ -130,7 +136,7 @@ func main() {
 		}
 		r, err = runTraceFile(*model, *traceFile)
 	case *remote != "":
-		r, err = runRemote(*remote, *model, *app, *n)
+		r, attempts, err = runRemote(*remote, *model, *app, *n)
 		if err == nil && r == nil { // unreachable: graceful local fallback
 			r, err = parrot.RunByName(*model, *app, *n)
 		}
@@ -146,6 +152,7 @@ func main() {
 		// A single run has no matrix-wide P_MAX; the run's own average
 		// dynamic power anchors the leakage term.
 		s := experiments.Summarize(r, r.AvgDynPower())
+		s.Attempts = attempts
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(s); err != nil {

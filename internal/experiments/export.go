@@ -35,6 +35,11 @@ type RunSummary struct {
 	CritReduction float64 `json:"critReduction"`
 	OptReuse      float64 `json:"optReuse"`
 
+	// Attempts, when set by a remote caller (parrotsim -remote), reports
+	// how many transport attempts the retrying client needed to obtain the
+	// cell (1 = first try; 0 = local run, omitted).
+	Attempts int `json:"attempts,omitempty"`
+
 	// Memo, when set by the caller (parrotscope), reports the machine's
 	// hot-window memoization activity: windows recorded/replayed and
 	// instructions covered by replay. Probed runs always execute the exact

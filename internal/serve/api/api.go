@@ -32,6 +32,7 @@ import (
 	"strings"
 	"time"
 
+	"parrot/internal/cluster"
 	"parrot/internal/config"
 	"parrot/internal/core"
 	"parrot/internal/experiments"
@@ -65,6 +66,14 @@ type Config struct {
 	EnablePprof bool
 	// StatsInterval paces /v1/stats/stream snapshots (0 = 1s).
 	StatsInterval time.Duration
+	// Cluster enables multi-node routing: /v1/run forwards non-owned
+	// digests to their ring owner, /v1/matrix scatters cells across the
+	// ring, and /clusterz exposes membership (nil = single-node).
+	Cluster *cluster.Cluster
+	// NodeID is this node's advertised URL, stamped into responses so
+	// clients can see which node served a cell (defaults to
+	// Cluster.Self(); empty on single-node daemons).
+	NodeID string
 }
 
 // Server wires the serving subsystem behind an http.Handler.
@@ -96,6 +105,9 @@ func New(cfg Config) *Server {
 	}
 	if cfg.StatsInterval <= 0 {
 		cfg.StatsInterval = time.Second
+	}
+	if cfg.NodeID == "" && cfg.Cluster != nil {
+		cfg.NodeID = cfg.Cluster.Self()
 	}
 	s := &Server{
 		cfg:    cfg,
@@ -150,6 +162,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/trace/{id}", s.handleTrace)
 	s.mux.HandleFunc("GET /v1/stats/stream", s.handleStatsStream)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /clusterz", s.handleClusterz)
 	s.mux.HandleFunc("GET /metricsz", s.handleMetricsz)
 	if cfg.EnablePprof {
 		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
@@ -182,6 +196,10 @@ func routeLabel(r *http.Request) string {
 		return "stats_stream"
 	case p == "/healthz":
 		return "healthz"
+	case p == "/readyz":
+		return "readyz"
+	case p == "/clusterz":
+		return "clusterz"
 	case p == "/metricsz":
 		return "metricsz"
 	case strings.HasPrefix(p, "/debug/pprof"):
@@ -230,6 +248,7 @@ func (s *Server) middleware(next http.Handler) http.Handler {
 		sw := &statusWriter{ResponseWriter: w}
 
 		traced := route != "metricsz" && route != "healthz" &&
+			route != "readyz" && route != "clusterz" &&
 			route != "stats_stream" && route != "pprof"
 		reqID := r.Header.Get(RequestIDHeader)
 		if reqID == "" {
@@ -348,6 +367,45 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
+	// Cluster routing. The hop guard wins over ownership: a request a peer
+	// already forwarded is served here no matter what the local ring says,
+	// so transient membership disagreement cannot produce a forwarding
+	// loop. Otherwise, a digest owned elsewhere is proxied to its owner;
+	// if every remote route fails, this node rescues it locally.
+	rescued := false
+	if cl := s.cfg.Cluster; cl != nil {
+		digest := spec.Digest()
+		if from := r.Header.Get(cluster.ForwardedHeader); from != "" {
+			cl.NoteHopStop()
+		} else if owner, self := cl.Owner(digest); !self {
+			tr := telemetry.TraceFrom(ctx)
+			sp := tr.StartSpanTID(telemetry.TIDCluster, "cluster.forward",
+				telemetry.A("owner", owner))
+			resp, info, ferr := cl.Execute(ctx, req, digest)
+			if ferr == nil {
+				sp.SetAttr("node", resp.Node)
+				sp.End()
+				cl.NoteForward(true)
+				// Re-stamp the coordinator's correlation ID; the owner's own
+				// trace is reachable on the owning node.
+				resp.RequestID = tr.ID()
+				resp.Attempts = info.Attempts
+				writeJSON(w, http.StatusOK, *resp)
+				return
+			}
+			sp.SetAttr("err", ferr.Error())
+			sp.End()
+			if !errors.Is(ferr, cluster.ErrRouteLocal) {
+				cl.NoteForward(false)
+				rescued = true
+				tlog.From(ctx).Warn("forward failed, rescuing locally",
+					tlog.F("digest", digest[:12]), tlog.F("err", ferr.Error()))
+			}
+		} else {
+			cl.NoteLocal()
+		}
+	}
+
 	start := time.Now()
 	var (
 		res  *core.Result
@@ -362,6 +420,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, schedErrStatus(err), "%v", err)
 		return
 	}
+	if rescued {
+		s.cfg.Cluster.NoteRescued()
+	}
 	elapsed := time.Since(start)
 	s.cellReqs(disp.String()).Inc()
 	s.cellSecs(disp.String()).Observe(elapsed.Seconds())
@@ -373,6 +434,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		ResultDigest: experiments.ResultDigest(res),
 		ElapsedUs:    elapsed.Microseconds(),
 		Result:       res,
+		Node:         s.cfg.NodeID,
 	})
 }
 
@@ -424,6 +486,37 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		SimVersion: experiments.SimVersion,
 		GoVersion:  runtime.Version(),
 	})
+}
+
+// handleReadyz is the routing gate, distinct from /healthz liveness: 503
+// while the pool prewarm is still running and during SIGTERM drain.
+// Cluster heartbeats probe this endpoint, so a not-ready node keeps
+// answering /healthz (alive, don't restart it) while peers stop routing
+// cells to it.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Sched.Ready() {
+		writeJSON(w, http.StatusOK, proto.Ready{Ready: true})
+		return
+	}
+	reason := "prewarming"
+	if s.cfg.Sched.Draining() {
+		reason = "draining"
+	}
+	writeJSON(w, http.StatusServiceUnavailable, proto.Ready{Ready: false, Reason: reason})
+}
+
+// handleClusterz exposes this node's membership view. Single-node daemons
+// answer with a one-member ring so tooling works uniformly.
+func (s *Server) handleClusterz(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Cluster == nil {
+		writeJSON(w, http.StatusOK, proto.ClusterStatus{
+			Self:    s.cfg.NodeID,
+			Members: []string{},
+			Nodes:   []proto.ClusterNode{},
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.cfg.Cluster.Status())
 }
 
 // handleMetricsz renders the registry in Prometheus text exposition format

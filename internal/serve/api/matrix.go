@@ -3,16 +3,18 @@ package api
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"time"
 
+	"parrot/internal/cluster"
 	"parrot/internal/config"
 	"parrot/internal/core"
 	"parrot/internal/experiments"
 	"parrot/internal/serve/proto"
-	"parrot/internal/serve/sched"
 	"parrot/internal/telemetry"
+	tlog "parrot/internal/telemetry/log"
 	"parrot/internal/workload"
 )
 
@@ -68,37 +70,30 @@ func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
 		flusher.Flush()
 	}
 
-	type cellDone struct {
-		idx  int
-		disp sched.Disposition
-		res  *core.Result
-		err  error
-	}
-
 	total := len(models) * len(apps)
 	start := time.Now()
-	done := make(chan cellDone, total)
+	done := make(chan cellOutcome, total)
 
 	// Fan out: one waiter goroutine per cell (they mostly block on shared
-	// flights; the real concurrency is the scheduler's worker cap). Model-
-	// major order keeps consecutive batch jobs on the same model.
+	// flights or remote calls; local concurrency is the scheduler's worker
+	// cap). Model-major order keeps consecutive batch jobs on the same
+	// model. With a cluster configured, each cell is routed to its ring
+	// owner — the gather loop below survives owner death because
+	// runMatrixCell retries elsewhere and finally rescues locally.
 	for mi, m := range models {
 		for ai, p := range apps {
 			idx := mi*len(apps) + ai
 			spec := experiments.RunSpec{Model: m, App: p, Insts: req.Insts}.Normalize()
+			model, app := string(m.ID), p.Name
 			go func() {
-				cellStart := time.Now()
-				res, disp, err := s.cfg.Sched.SubmitBatch(ctx, spec)
-				if err == nil {
-					s.cellReqs(disp.String()).Inc()
-					s.cellSecs(disp.String()).Observe(time.Since(cellStart).Seconds())
-				}
-				done <- cellDone{idx: idx, disp: disp, res: res, err: err}
+				o := s.runMatrixCell(ctx, spec, model, app, req.Insts)
+				o.idx = idx
+				done <- o
 			}()
 		}
 	}
 
-	cells := make([]cellDone, total)
+	cells := make([]cellOutcome, total)
 	cachedCells := 0
 	for n := 1; n <= total; n++ {
 		d := <-done
@@ -107,7 +102,7 @@ func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		cells[d.idx] = d
-		if d.disp.Cached() {
+		if d.cached {
 			cachedCells++
 		}
 		elapsed := time.Since(start)
@@ -115,7 +110,7 @@ func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
 		emit("progress", proto.Progress{
 			Done: n, Total: total,
 			ElapsedUs: elapsed.Microseconds(), EtaUs: eta.Microseconds(),
-			Cached: d.disp.Cached(), Disposition: d.disp.String(),
+			Cached: d.cached, Disposition: d.disp,
 		})
 	}
 
@@ -154,13 +149,79 @@ func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
 				Model:       string(m.ID),
 				App:         p.Name,
 				Digest:      experiments.RunSpec{Model: m, App: p, Insts: req.Insts}.Digest(),
-				Cached:      d.disp.Cached(),
-				Disposition: d.disp.String(),
+				Cached:      d.cached,
+				Disposition: d.disp,
 				Result:      d.res,
+				Node:        d.node,
 			})
 		}
 	}
 	emit("result", out)
+}
+
+// cellOutcome is one gathered matrix cell.
+type cellOutcome struct {
+	idx    int
+	disp   string
+	cached bool
+	res    *core.Result
+	node   string
+	err    error
+}
+
+// runMatrixCell executes one cell, routing through the cluster when one is
+// configured. The fault-tolerance ladder: (1) the ring owner (with the
+// routing client's retries, hedging and failover to successors), then
+// (2) local rescue on this coordinator — so a cell only fails when the
+// local scheduler itself cannot run it (drain or matrix timeout).
+func (s *Server) runMatrixCell(ctx context.Context, spec experiments.RunSpec, model, app string, insts int) cellOutcome {
+	cl := s.cfg.Cluster
+	digest := spec.Digest()
+	rescue := false
+	if cl != nil {
+		if _, self := cl.Owner(digest); !self {
+			tr := telemetry.TraceFrom(ctx)
+			sp := tr.StartSpanTID(telemetry.TIDCluster, "cluster.cell",
+				telemetry.A("cell", model+"/"+app))
+			resp, info, err := cl.Execute(ctx, proto.RunRequest{
+				Model: model, App: app, Insts: insts,
+				Priority: proto.PriorityBatch,
+			}, digest)
+			if err == nil {
+				node := resp.Node
+				if node == "" {
+					node = info.Node
+				}
+				sp.SetAttr("node", node)
+				sp.End()
+				return cellOutcome{disp: resp.Disposition, cached: resp.Cached, res: resp.Result, node: node}
+			}
+			sp.SetAttr("err", err.Error())
+			sp.End()
+			if !errors.Is(err, cluster.ErrRouteLocal) {
+				// Every remote route failed: last line of defence is running
+				// the cell on this coordinator. The matrix stays complete as
+				// long as this node lives.
+				rescue = true
+				tlog.From(ctx).Warn("cell rescue: running locally",
+					tlog.F("cell", model+"/"+app), tlog.F("err", err.Error()))
+			}
+		} else {
+			cl.NoteLocal()
+		}
+	}
+
+	cellStart := time.Now()
+	res, disp, err := s.cfg.Sched.SubmitBatch(ctx, spec)
+	if err != nil {
+		return cellOutcome{err: err}
+	}
+	if rescue {
+		cl.NoteRescued()
+	}
+	s.cellReqs(disp.String()).Inc()
+	s.cellSecs(disp.String()).Observe(time.Since(cellStart).Seconds())
+	return cellOutcome{disp: disp.String(), cached: disp.Cached(), res: res, node: s.cfg.NodeID}
 }
 
 // resolveMatrix expands a matrix request into concrete model and profile

@@ -15,9 +15,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
+	"net"
 	"net/http"
+	"net/url"
 	"strings"
 	"time"
 
@@ -26,59 +30,188 @@ import (
 	"parrot/internal/telemetry"
 )
 
+// RetryPolicy bounds the client's transport-level retries. Run requests
+// are idempotent by content address (the same RunSpec digest returns the
+// same result, usually straight from cache on the retry), so retrying a
+// POST /v1/run after a connection reset or a 5xx is safe.
+type RetryPolicy struct {
+	// MaxAttempts is the total attempt budget (<=0 = 3; 1 disables retry).
+	MaxAttempts int
+	// BaseBackoff/MaxBackoff shape the exponential backoff between
+	// attempts (<=0 = 50ms / 1s); each delay is jittered ±50%.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 50 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = time.Second
+	}
+	return p
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithRetry sets the transport retry policy (the default is 3 attempts;
+// pass RetryPolicy{MaxAttempts: 1} to disable retry when a higher layer
+// owns the budget, as the cluster router does).
+func WithRetry(p RetryPolicy) Option {
+	return func(c *Client) { c.retry = p.withDefaults() }
+}
+
+// WithHeader adds a header to every request — the cluster layer stamps its
+// forwarded hop guard this way.
+func WithHeader(key, value string) Option {
+	return func(c *Client) {
+		if c.headers == nil {
+			c.headers = map[string]string{}
+		}
+		c.headers[key] = value
+	}
+}
+
 // Client talks to one parrotd instance.
 type Client struct {
-	base string
-	hc   *http.Client
+	base    string
+	hc      *http.Client
+	retry   RetryPolicy
+	headers map[string]string
 }
 
 // New builds a client for a server base URL, e.g. "http://127.0.0.1:8044".
-func New(base string) *Client {
-	return &Client{
+func New(base string, opts ...Option) *Client {
+	c := &Client{
 		base: strings.TrimRight(base, "/"),
 		// No global client timeout: matrix SSE streams legitimately run for
 		// minutes. Per-call deadlines come from the caller's context.
-		hc: &http.Client{},
+		hc:    &http.Client{},
+		retry: RetryPolicy{}.withDefaults(),
 	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
 }
 
 // Base returns the server base URL.
 func (c *Client) Base() string { return c.base }
 
-func (c *Client) postJSON(ctx context.Context, path string, body, out any) error {
+// IsTransportErr reports whether an error from this client is a
+// transport-level failure (dial refused, reset, timeout) as opposed to an
+// HTTP-level response the server actually produced.
+func IsTransportErr(err error) bool {
+	if err == nil {
+		return false
+	}
+	var ue *url.Error
+	if errors.As(err, &ue) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) ||
+		errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)
+}
+
+// retryable reports whether an attempt outcome warrants another try:
+// transport errors and 5xx responses (the server never 5xxes a valid run
+// request except under transient overload or drain).
+func retryable(status int, err error) bool {
+	if err != nil {
+		return IsTransportErr(err) && !errors.Is(err, context.Canceled) &&
+			!errors.Is(err, context.DeadlineExceeded)
+	}
+	return status >= 500
+}
+
+// backoffDelay returns the jittered exponential delay before attempt+1.
+func (p RetryPolicy) backoffDelay(attempt int) time.Duration {
+	d := p.BaseBackoff << uint(attempt)
+	if d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d)+1))/2
+}
+
+// do issues one request built by build, retrying per the policy. It
+// returns the final response (status 200, body open) and the attempt
+// count; non-200 final responses are decoded into an error.
+func (c *Client) do(ctx context.Context, build func() (*http.Request, error)) (*http.Response, int, error) {
+	var lastErr error
+	for attempt := 0; attempt < c.retry.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			t := time.NewTimer(c.retry.backoffDelay(attempt - 1))
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return nil, attempt, lastErr
+			}
+			t.Stop()
+		}
+		req, err := build()
+		if err != nil {
+			return nil, attempt + 1, err
+		}
+		for k, v := range c.headers {
+			req.Header.Set(k, v)
+		}
+		resp, err := c.hc.Do(req)
+		if err == nil && resp.StatusCode == http.StatusOK {
+			return resp, attempt + 1, nil
+		}
+		if err == nil {
+			herr := decodeErr(resp)
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+			resp.Body.Close()
+			lastErr = herr
+			if !retryable(resp.StatusCode, nil) {
+				return nil, attempt + 1, herr
+			}
+		} else {
+			lastErr = err
+			if !retryable(0, err) {
+				return nil, attempt + 1, err
+			}
+		}
+	}
+	return nil, c.retry.MaxAttempts, lastErr
+}
+
+func (c *Client) postJSON(ctx context.Context, path string, body, out any) (int, error) {
 	b, err := json.Marshal(body)
 	if err != nil {
-		return err
+		return 0, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(b))
+	resp, attempts, err := c.do(ctx, func() (*http.Request, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(b))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		return req, nil
+	})
 	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return err
+		return attempts, err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return decodeErr(resp)
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	return attempts, json.NewDecoder(resp.Body).Decode(out)
 }
 
 func (c *Client) getJSON(ctx context.Context, path string, out any) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
-	if err != nil {
-		return err
-	}
-	resp, err := c.hc.Do(req)
+	resp, _, err := c.do(ctx, func() (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	})
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return decodeErr(resp)
-	}
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
@@ -104,15 +237,18 @@ func verifyRun(r *proto.RunResponse) error {
 	return nil
 }
 
-// Run requests one simulation cell.
+// Run requests one simulation cell. The response's Attempts field reports
+// how many transport attempts the retry policy spent (1 = first try).
 func (c *Client) Run(ctx context.Context, req proto.RunRequest) (*proto.RunResponse, error) {
 	var out proto.RunResponse
-	if err := c.postJSON(ctx, "/v1/run", req, &out); err != nil {
+	attempts, err := c.postJSON(ctx, "/v1/run", req, &out)
+	if err != nil {
 		return nil, err
 	}
 	if err := verifyRun(&out); err != nil {
 		return nil, err
 	}
+	out.Attempts = attempts
 	return &out, nil
 }
 
@@ -146,6 +282,43 @@ func (c *Client) Ping(ctx context.Context) error {
 	return err
 }
 
+// Ready probes /readyz: nil means the node is accepting routed traffic; a
+// draining or still-prewarming node answers 503 and Ready returns an error
+// naming the reason. Cluster heartbeats use this, so not-ready nodes are
+// routed around rather than treated as live.
+func (c *Client) Ready(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/readyz", nil)
+	if err != nil {
+		return err
+	}
+	for k, v := range c.headers {
+		req.Header.Set(k, v)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var body proto.Ready
+	_ = json.NewDecoder(io.LimitReader(resp.Body, 4<<10)).Decode(&body)
+	if resp.StatusCode == http.StatusOK && body.Ready {
+		return nil
+	}
+	if body.Reason != "" {
+		return fmt.Errorf("not ready: %s (HTTP %d)", body.Reason, resp.StatusCode)
+	}
+	return fmt.Errorf("not ready: HTTP %d", resp.StatusCode)
+}
+
+// Cluster fetches /clusterz — the node's view of membership and ring.
+func (c *Client) Cluster(ctx context.Context) (*proto.ClusterStatus, error) {
+	var out proto.ClusterStatus
+	if err := c.getJSON(ctx, "/clusterz", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Metrics fetches the legacy JSON metrics body (/metricsz?format=json).
 func (c *Client) Metrics(ctx context.Context) (*proto.Metrics, error) {
 	var out proto.Metrics
@@ -158,36 +331,26 @@ func (c *Client) Metrics(ctx context.Context) (*proto.Metrics, error) {
 // MetricsText fetches the Prometheus text exposition from /metricsz,
 // parsed into series. parrotctl's top/expect views consume this.
 func (c *Client) MetricsText(ctx context.Context) (*telemetry.Exposition, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metricsz", nil)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := c.hc.Do(req)
+	resp, _, err := c.do(ctx, func() (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metricsz", nil)
+	})
 	if err != nil {
 		return nil, err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, decodeErr(resp)
-	}
 	return telemetry.ParseExposition(resp.Body)
 }
 
 // Trace fetches a request's span timeline as raw Chrome trace-event JSON
 // (the /v1/trace/{id} body, suitable for chrome://tracing / Perfetto).
 func (c *Client) Trace(ctx context.Context, requestID string) ([]byte, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/trace/"+requestID, nil)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := c.hc.Do(req)
+	resp, _, err := c.do(ctx, func() (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/trace/"+requestID, nil)
+	})
 	if err != nil {
 		return nil, err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, decodeErr(resp)
-	}
 	return io.ReadAll(resp.Body)
 }
 
@@ -209,20 +372,21 @@ func (c *Client) Matrix(ctx context.Context, req proto.MatrixRequest, onProgress
 	if err != nil {
 		return nil, err
 	}
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/matrix", bytes.NewReader(b))
-	if err != nil {
-		return nil, err
-	}
-	hreq.Header.Set("Content-Type", "application/json")
-	hreq.Header.Set("Accept", "text/event-stream")
-	resp, err := c.hc.Do(hreq)
+	// Only the initial connection retries; a failure mid-stream surfaces as
+	// an error (a matrix is not transparently restartable from the client).
+	resp, _, err := c.do(ctx, func() (*http.Request, error) {
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/matrix", bytes.NewReader(b))
+		if err != nil {
+			return nil, err
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		hreq.Header.Set("Accept", "text/event-stream")
+		return hreq, nil
+	})
 	if err != nil {
 		return nil, err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, decodeErr(resp)
-	}
 
 	var out *proto.MatrixResponse
 	err = readSSE(resp.Body, func(event string, data []byte) error {

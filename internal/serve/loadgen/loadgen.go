@@ -34,6 +34,10 @@ func allAppNames() []string {
 // Config parameterizes one load run.
 type Config struct {
 	Client *client.Client
+	// Clients, when non-empty, supersedes Client: requests round-robin over
+	// the listed nodes, spreading coordinator load across a cluster (each
+	// node forwards non-owned digests to their ring owner itself).
+	Clients []*client.Client
 
 	// Mode is "closed" (Concurrency workers issuing back-to-back) or
 	// "open" (Poisson-free fixed-rate arrivals at RateHz, each served on
@@ -116,8 +120,12 @@ type sample struct {
 
 // Run executes the configured load against the server.
 func Run(ctx context.Context, cfg Config) (*Report, error) {
-	if cfg.Client == nil {
-		return nil, fmt.Errorf("loadgen: no client")
+	clients := cfg.Clients
+	if len(clients) == 0 {
+		if cfg.Client == nil {
+			return nil, fmt.Errorf("loadgen: no client")
+		}
+		clients = []*client.Client{cfg.Client}
 	}
 	mode := cfg.Mode
 	if mode == "" {
@@ -155,7 +163,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	issue := func(i int) {
 		req := cells[i%len(cells)]
 		start := time.Now()
-		resp, err := cfg.Client.Run(runCtx, req)
+		resp, err := clients[i%len(clients)].Run(runCtx, req)
 		el := float64(time.Since(start).Microseconds())
 		if err != nil {
 			// Runs cut off by the load window are not service errors.

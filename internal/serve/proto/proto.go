@@ -50,6 +50,12 @@ type RunResponse struct {
 	// ElapsedUs is the server-side handling time in microseconds.
 	ElapsedUs int64        `json:"elapsedUs"`
 	Result    *core.Result `json:"result"`
+	// Node is the advertised URL of the cluster node that actually served
+	// the cell (empty on single-node daemons).
+	Node string `json:"node,omitempty"`
+	// Attempts counts transport attempts the client layer needed (1 = first
+	// try; populated client-side by the retrying client, not the server).
+	Attempts int `json:"attempts,omitempty"`
 }
 
 // MatrixRequest asks for a model × application fan-out. Empty slices mean
@@ -85,6 +91,9 @@ type Cell struct {
 	// Disposition refines Cached ("hit", "dedup", "replayed", "exact").
 	Disposition string       `json:"disposition,omitempty"`
 	Result      *core.Result `json:"result"`
+	// Node is the cluster node that served the cell (empty when the
+	// coordinator ran it in-process on a single-node daemon).
+	Node string `json:"node,omitempty"`
 }
 
 // MatrixResponse is the SSE "result" event payload of /v1/matrix: the full
@@ -119,6 +128,48 @@ type Health struct {
 	UptimeMs   int64  `json:"uptimeMs"`
 	SimVersion int    `json:"simVersion"`
 	GoVersion  string `json:"goVersion"`
+}
+
+// Ready is the /readyz body. Liveness (/healthz) says "the process is up";
+// readiness says "route traffic here" — false while the pool prewarm is
+// still running and during SIGTERM drain, when the body rides on HTTP 503.
+type Ready struct {
+	Ready bool `json:"ready"`
+	// Reason explains a false Ready ("draining", "prewarming").
+	Reason string `json:"reason,omitempty"`
+}
+
+// ClusterNode is one peer's membership record in the /clusterz body.
+type ClusterNode struct {
+	ID   string `json:"id"`
+	Self bool   `json:"self,omitempty"`
+	// State is "alive", "suspect" or "dead".
+	State string `json:"state"`
+	// InRing reports ring membership (non-dead nodes only).
+	InRing bool `json:"inRing"`
+	// Breaker is this node's circuit state as seen from the responding
+	// node ("closed", "open", "half_open").
+	Breaker     string `json:"breaker,omitempty"`
+	ConsecFails int    `json:"consecFails,omitempty"`
+	Probes      uint64 `json:"probes"`
+	Fails       uint64 `json:"fails"`
+	Reports     uint64 `json:"reports"`
+	Flaps       uint64 `json:"flaps"`
+	Rejoins     uint64 `json:"rejoins"`
+	LastErr     string `json:"lastErr,omitempty"`
+}
+
+// ClusterStatus is the /clusterz body: the responding node's view of the
+// membership set and routing ring. The ring is a pure function of
+// (Members, VNodes), so clients can rebuild it locally to verify
+// ownership placement.
+type ClusterStatus struct {
+	Self   string `json:"self"`
+	Epoch  uint64 `json:"epoch"`
+	VNodes int    `json:"vnodes"`
+	// Members is the current ring membership (non-dead), sorted.
+	Members []string      `json:"members"`
+	Nodes   []ClusterNode `json:"nodes"`
 }
 
 // CacheMetrics exposes result-cache counters.

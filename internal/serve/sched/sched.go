@@ -185,6 +185,7 @@ type Sched struct {
 	qi, qb   []*job // interactive / batch FIFOs
 	inflight map[string]*flight
 	draining bool
+	notReady bool // prewarm still running: serve, but tell peers not to route here
 	stats    Stats
 	wg       sync.WaitGroup
 
@@ -573,6 +574,24 @@ func (s *Sched) Draining() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.draining
+}
+
+// SetReady flips the readiness gate. The daemon marks itself not-ready
+// before a background pool prewarm and ready when it completes; unlike
+// draining this never rejects work — it only steers /readyz so cluster
+// peers route around a still-warming node.
+func (s *Sched) SetReady(ready bool) {
+	s.mu.Lock()
+	s.notReady = !ready
+	s.mu.Unlock()
+}
+
+// Ready reports whether this node should receive routed traffic: not
+// draining and past any startup prewarm gate.
+func (s *Sched) Ready() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.draining && !s.notReady
 }
 
 // Stats returns a snapshot of the counters, taken in one critical section

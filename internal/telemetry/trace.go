@@ -26,12 +26,13 @@ import (
 // *ActiveSpan whose methods no-op, so library code traces unconditionally
 // and pays one nil check when tracing is off.
 
-// Display rows (Chrome trace "tid") for the two goroutine roles of one
-// request. Requester spans and worker spans interleave in time but never
-// nest across rows, so the viewer shows them as two lanes.
+// Display rows (Chrome trace "tid") for the goroutine roles of one
+// request. Requester, worker and cluster spans interleave in time but
+// never nest across rows, so the viewer shows them as separate lanes.
 const (
 	TIDRequest = 1 // HTTP handler / submitting goroutine
 	TIDWorker  = 2 // scheduler worker executing the simulation
+	TIDCluster = 3 // cluster routing: forwards, remote cells, rescues
 )
 
 // Attr is one span attribute.

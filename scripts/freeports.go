@@ -1,0 +1,45 @@
+//go:build ignore
+
+// freeports prints N free TCP ports on 127.0.0.1, one per line. The cluster
+// smoke test uses it to pick a -peers list before booting the nodes: every
+// node must know every advertise URL up front, so ports cannot come from
+// -addr 127.0.0.1:0 the way the single-node smoke test gets its port.
+//
+// Usage: go run scripts/freeports.go 3
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+)
+
+func main() {
+	n := 1
+	if len(os.Args) > 1 {
+		v, err := strconv.Atoi(os.Args[1])
+		if err != nil || v < 1 {
+			fmt.Fprintf(os.Stderr, "usage: freeports [count]\n")
+			os.Exit(2)
+		}
+		n = v
+	}
+	// Hold every listener until all are bound so the same port is never
+	// handed out twice.
+	lns := make([]net.Listener, 0, n)
+	defer func() {
+		for _, ln := range lns {
+			ln.Close()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		lns = append(lns, ln)
+		fmt.Println(ln.Addr().(*net.TCPAddr).Port)
+	}
+}
