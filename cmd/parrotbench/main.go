@@ -79,6 +79,9 @@ func remoteMatrix(server string, cfg parrot.ExperimentConfig) (*parrot.Experimen
 	if err != nil {
 		return nil, err
 	}
+	if resp.FailedCells > 0 {
+		return nil, fmt.Errorf("parrotbench: matrix partial: %d of %d cells failed (overloaded server?)", resp.FailedCells, resp.TotalCells)
+	}
 	fmt.Fprintf(os.Stderr, "parrotbench: matrix served by %s (%d/%d cells cached, %v)\n",
 		server, resp.CachedCells, resp.TotalCells,
 		(time.Duration(resp.ElapsedUs) * time.Microsecond).Round(time.Millisecond))

@@ -182,7 +182,20 @@ func cmdMatrix(args []string) error {
 		}
 		fmt.Printf("matrix: %d cells in %s  (%d cached, %.1f%% hit)  P_MAX anchor %s\n",
 			resp.TotalCells, us(resp.ElapsedUs), resp.CachedCells, 100*frac, resp.PMaxApp)
-		fmt.Printf("digest: %s\n", resp.Digest)
+		if resp.FailedCells == 0 {
+			fmt.Printf("digest: %s\n", resp.Digest)
+		}
+	}
+
+	// A partial matrix has no digest or P_MAX anchor — list the failed
+	// cells and fail, before any digest assertion can compare against "".
+	if resp.FailedCells > 0 {
+		for _, cell := range resp.Cells {
+			if cell.Error != "" {
+				fmt.Fprintf(os.Stderr, "  failed cell %s/%s: %s\n", cell.Model, cell.App, cell.Error)
+			}
+		}
+		return fmt.Errorf("matrix partial: %d of %d cells failed", resp.FailedCells, resp.TotalCells)
 	}
 
 	// CI assertions.

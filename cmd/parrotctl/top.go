@@ -116,6 +116,15 @@ func renderTop(e *telemetry.Exposition, base string) {
 		get(`parrot_queue_depth{class="batch"}`),
 		secs(p50i), secs(p99b))
 
+	// Overload-resilience families (absent on an idle daemon = all zero).
+	fmt.Printf("overload   shed int %.0f / batch %.0f  admit limit %.0f  deadline rej %.0f evict %.0f  degraded %.0f\n",
+		get(`parrot_shed_total{class="interactive"}`),
+		get(`parrot_shed_total{class="batch"}`),
+		get("parrot_admit_limit"),
+		get("parrot_deadline_rejected_total"),
+		get("parrot_deadline_evicted_total"),
+		get("parrot_degraded_total"))
+
 	lookups := famSum("parrot_cache_lookups_total")
 	fmt.Printf("cache      entries %.0f  bytes %s  hit rate %.3f  evictions %.0f  lookups %.0f\n",
 		get("parrot_cache_entries"), bytesHuman(get("parrot_cache_bytes")),
@@ -163,16 +172,24 @@ func countHuman(v float64) string {
 type expectList []expectation
 
 type expectation struct {
-	key string // series key, e.g. parrot_requests_total{route="run"}
-	op  string // >=, <=, ==, !=, >, <
-	val float64
+	key      string // series key, e.g. parrot_requests_total{route="run"}
+	op       string // >=, <=, ==, !=, >, <
+	val      float64
+	optional bool // '?' prefix: an absent series reads as 0 instead of failing
 }
 
 func (l *expectList) String() string { return fmt.Sprintf("%d assertions", len(*l)) }
 
-// Set parses "series op value". The operator is searched after the label
-// block so label values containing '<'/'>' cannot confuse it.
+// Set parses "series op value". A leading '?' marks the series optional:
+// absent from the scrape evaluates as 0 rather than failing outright (for
+// error counters that only materialize once the first error happens). The
+// operator is searched after the label block so label values containing
+// '<'/'>' cannot confuse it.
 func (l *expectList) Set(s string) error {
+	optional := strings.HasPrefix(s, "?")
+	if optional {
+		s = s[1:]
+	}
 	tail := s
 	base := 0
 	if i := strings.Index(s, "}"); i >= 0 {
@@ -186,19 +203,23 @@ func (l *expectList) Set(s string) error {
 			if err != nil {
 				return fmt.Errorf("bad -expect value in %q: %v", s, err)
 			}
-			*l = append(*l, expectation{key: key, op: op, val: v})
+			*l = append(*l, expectation{key: key, op: op, val: v, optional: optional})
 			return nil
 		}
 	}
 	return fmt.Errorf("bad -expect %q: want 'series op value' with op in >=,<=,==,!=,>,<", s)
 }
 
-// check evaluates every assertion against a scrape; missing series fail.
+// check evaluates every assertion against a scrape; missing series fail
+// unless the assertion was marked optional with '?'.
 func (l expectList) check(e *telemetry.Exposition) error {
 	for _, x := range l {
 		got, ok := e.Get(x.key)
 		if !ok {
-			return fmt.Errorf("expect failed: series %s absent from scrape", x.key)
+			if !x.optional {
+				return fmt.Errorf("expect failed: series %s absent from scrape", x.key)
+			}
+			got = 0
 		}
 		pass := false
 		switch x.op {

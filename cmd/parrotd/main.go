@@ -48,6 +48,7 @@ import (
 	"syscall"
 	"time"
 
+	"parrot/internal/chaos"
 	"parrot/internal/cluster"
 	"parrot/internal/config"
 	"parrot/internal/core"
@@ -83,6 +84,8 @@ func run() error {
 	probeInterval := flag.Duration("probeinterval", time.Second, "peer health-probe interval")
 	suspectAfter := flag.Int("suspectafter", 2, "consecutive probe failures before a peer turns suspect")
 	deadAfter := flag.Duration("deadafter", 5*time.Second, "time a still-failing suspect peer may linger before leaving the ring")
+	admitTarget := flag.Duration("admittarget", 0, "interactive queue-wait target driving adaptive admission control (0 = 250ms)")
+	chaosSpec := flag.String("chaos", "", "deterministic fault-injection rules, e.g. 'site=sched.run p=0.3 lat=20ms; site=cache.disk.get p=0.1 err' (seed from PARROT_CHAOS, default 1)")
 	flag.Parse()
 
 	lv, err := tlog.ParseLevel(*logLevel)
@@ -92,19 +95,38 @@ func run() error {
 	logger := tlog.New(os.Stderr, lv).With(tlog.F("app", "parrotd"))
 	reg := telemetry.NewRegistry()
 
-	c, err := cache.New(cache.Config{MemBudget: *cacheMem, Dir: *cacheDir})
+	// Deterministic chaos injection (off unless -chaos names rules). The
+	// schedule is a pure function of the PARROT_CHAOS seed, so a failing
+	// chaos run reproduces exactly by re-running with the same seed.
+	var inj *chaos.Injector
+	if *chaosSpec != "" {
+		rules, err := chaos.Parse(*chaosSpec)
+		if err != nil {
+			return fmt.Errorf("parrotd: -chaos: %w", err)
+		}
+		seed := chaos.SeedFromEnv()
+		inj = chaos.New(seed, rules)
+		inj.Register(reg)
+		logger.Warn("chaos injection active",
+			tlog.F("seed", fmt.Sprintf("%d", seed)),
+			tlog.F("rules", *chaosSpec))
+	}
+
+	c, err := cache.New(cache.Config{MemBudget: *cacheMem, Dir: *cacheDir, Chaos: inj})
 	if err != nil {
 		return fmt.Errorf("parrotd: cache: %w", err)
 	}
 
 	pool := core.NewPool()
 	sc := sched.New(sched.Config{
-		Workers:  *workers,
-		QueueCap: *queueCap,
-		Cache:    c,
-		Pool:     pool,
-		Registry: reg,
-		Log:      logger,
+		Workers:     *workers,
+		QueueCap:    *queueCap,
+		Cache:       c,
+		Pool:        pool,
+		Registry:    reg,
+		Log:         logger,
+		AdmitTarget: *admitTarget,
+		Chaos:       inj,
 	})
 
 	// Bind before constructing the cluster so -advertise can default to the
@@ -135,6 +157,7 @@ func run() error {
 			DeadAfter:     *deadAfter,
 			Registry:      reg,
 			Log:           logger,
+			Chaos:         inj,
 		})
 		logger.Info("cluster mode",
 			tlog.F("advertise", self),

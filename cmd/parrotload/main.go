@@ -12,6 +12,10 @@
 //	parrotload -warm                                        # pre-touch every cell once
 //	parrotload -min-hit 0.95 -max-cached-p99 5ms            # CI assertions
 //	parrotload -report loadreport.json                      # machine-readable report
+//	parrotload -concurrency 20 -batch-frac 0.5 -distinct 64 \
+//	  -retries 1 -deadline 2s                               # overload storm
+//	parrotload -max-5xx 0 -require-retry-after \
+//	  -min-goodput-ratio 1.0 -max-interactive-p99 5s        # overload gates
 package main
 
 import (
@@ -51,6 +55,14 @@ func run() error {
 	maxCachedP99 := flag.Duration("max-cached-p99", 0, "fail unless cached-cell p99 <= this (0 = no gate)")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON")
 	reportPath := flag.String("report", "", "also write the full JSON report (latency histograms included) to this file, e.g. loadreport.json")
+	batchFrac := flag.Float64("batch-frac", 0, "fraction of requests sent on the batch priority class")
+	distinct := flag.Int("distinct", 0, "churn each cell's instruction budget through this many variants (cold storm)")
+	retries := flag.Int("retries", 0, "client transport attempts per request (0 = library default of 3)")
+	deadline := flag.Duration("deadline", 0, "per-request deadline, propagated as X-Parrot-Deadline (0 = none)")
+	max5xx := flag.Int("max-5xx", -1, "fail if more than this many 5xx responses were observed (-1 = no gate)")
+	requireRetryAfter := flag.Bool("require-retry-after", false, "fail unless every 429 shed carried a Retry-After hint")
+	minGoodputRatio := flag.Float64("min-goodput-ratio", 0, "fail unless fresh (non-degraded) interactive goodput >= ratio × fresh batch goodput (0 = no gate)")
+	maxInteractiveP99 := flag.Duration("max-interactive-p99", 0, "fail unless successful interactive p99 <= this (0 = no gate)")
 	flag.Parse()
 
 	servers := splitList(*server)
@@ -59,8 +71,12 @@ func run() error {
 	}
 	clients := make([]*client.Client, len(servers))
 	ctx := context.Background()
+	var opts []client.Option
+	if *retries > 0 {
+		opts = append(opts, client.WithRetry(client.RetryPolicy{MaxAttempts: *retries}))
+	}
 	for i, s := range servers {
-		clients[i] = client.New(s)
+		clients[i] = client.New(s, opts...)
 		if err := clients[i].Ping(ctx); err != nil {
 			return fmt.Errorf("parrotload: server unreachable at %s: %w", s, err)
 		}
@@ -77,22 +93,28 @@ func run() error {
 		if err != nil {
 			return fmt.Errorf("parrotload: warm pass: %w", err)
 		}
+		if resp.FailedCells > 0 {
+			return fmt.Errorf("parrotload: warm pass left %d of %d cells failed", resp.FailedCells, resp.TotalCells)
+		}
 		fmt.Fprintf(os.Stderr, "parrotload: warmed %d cells in %v (%d already cached)\n",
 			resp.TotalCells, time.Since(t0).Round(time.Millisecond), resp.CachedCells)
 	}
 
 	report, err := loadgen.Run(ctx, loadgen.Config{
-		Client:      c,
-		Clients:     clients,
-		Mode:        *mode,
-		Concurrency: *concurrency,
-		RateHz:      *rate,
-		Requests:    *requests,
-		Duration:    *duration,
-		Models:      splitList(*models),
-		Apps:        splitList(*apps),
-		Insts:       *n,
-		Seed:        *seed,
+		Client:        c,
+		Clients:       clients,
+		Mode:          *mode,
+		Concurrency:   *concurrency,
+		RateHz:        *rate,
+		Requests:      *requests,
+		Duration:      *duration,
+		Models:        splitList(*models),
+		Apps:          splitList(*apps),
+		Insts:         *n,
+		Seed:          *seed,
+		BatchFraction: *batchFrac,
+		Distinct:      *distinct,
+		DeadlineMs:    int(deadline.Milliseconds()),
 	})
 	if err != nil {
 		return err
@@ -129,6 +151,31 @@ func run() error {
 		p99 := time.Duration(report.Cached.P99 * float64(time.Microsecond))
 		if p99 > *maxCachedP99 {
 			return fmt.Errorf("cached p99 %v above budget %v", p99, *maxCachedP99)
+		}
+	}
+	if *max5xx >= 0 && report.Server5xx > *max5xx {
+		return fmt.Errorf("%d server 5xx responses, budget %d", report.Server5xx, *max5xx)
+	}
+	if *requireRetryAfter && report.ShedHintOK != report.Shed {
+		return fmt.Errorf("%d of %d sheds carried no Retry-After hint",
+			report.Shed-report.ShedHintOK, report.Shed)
+	}
+	if *minGoodputRatio > 0 && report.BatchFresh > 0 {
+		// Gate on fresh goodput: degraded fallbacks rescue both classes
+		// alike, so only non-degraded successes show the priority split.
+		ratio := float64(report.InteractiveFresh) / float64(report.BatchFresh)
+		if ratio < *minGoodputRatio {
+			return fmt.Errorf("interactive/batch fresh goodput ratio %.2f below required %.2f (%d vs %d)",
+				ratio, *minGoodputRatio, report.InteractiveFresh, report.BatchFresh)
+		}
+	}
+	if *maxInteractiveP99 > 0 {
+		if report.Interactive.N == 0 {
+			return fmt.Errorf("no successful interactive samples to gate p99 on")
+		}
+		p99 := time.Duration(report.Interactive.P99 * float64(time.Microsecond))
+		if p99 > *maxInteractiveP99 {
+			return fmt.Errorf("interactive p99 %v above budget %v", p99, *maxInteractiveP99)
 		}
 	}
 	return nil

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"parrot/internal/chaos"
 	"parrot/internal/serve/client"
 	"parrot/internal/serve/proto"
 	"parrot/internal/telemetry"
@@ -50,6 +51,9 @@ type ClientConfig struct {
 	Registry *telemetry.Registry
 	// Log receives routing events (nil = silent).
 	Log *tlog.Logger
+	// Chaos injects deterministic faults on the routed path: site
+	// "cluster.partition" masks this node's view of a peer (nil = inert).
+	Chaos *chaos.Injector
 }
 
 // Client routes cell requests to ring owners with retries, hedging and
@@ -66,12 +70,13 @@ type Client struct {
 	lats     map[string]*latWindow
 	inflight map[string]int
 
-	retries     *telemetry.Counter
-	reroutes    *telemetry.Counter
-	hedges      *telemetry.Counter
-	hedgesWon   *telemetry.Counter
-	hedgesLost  *telemetry.Counter
-	breakerOpen *telemetry.Counter
+	retries      *telemetry.Counter
+	reroutes     *telemetry.Counter
+	hedges       *telemetry.Counter
+	hedgesWon    *telemetry.Counter
+	hedgesLost   *telemetry.Counter
+	hedgeCancels *telemetry.Counter
+	breakerOpen  *telemetry.Counter
 }
 
 // NewClient builds the routing client over a membership registry.
@@ -114,6 +119,8 @@ func NewClient(reg *Registry, cfg ClientConfig) *Client {
 		"Hedged requests that completed before the primary.")
 	c.hedgesLost = mreg.Counter("parrot_cluster_hedges_lost_total",
 		"Hedged requests beaten by the primary.")
+	c.hedgeCancels = mreg.Counter("parrot_cluster_hedge_cancels_total",
+		"Loser requests cancelled because the other leg finished first.")
 	c.breakerOpen = mreg.Counter("parrot_cluster_breaker_opens_total",
 		"Per-node circuit breaker open transitions.")
 	return c
@@ -244,7 +251,23 @@ func (c *Client) RunRemote(ctx context.Context, req proto.RunRequest, digest str
 		if attempt > 0 {
 			c.retries.Inc()
 		}
-		resp, node, hedged, hedgeWon, err := c.runHedged(ctx, ring, digest, target, req)
+		// Per-attempt deadline carving: split the remaining budget evenly
+		// over the attempts still available (floor 10ms), so one attempt
+		// stuck on a slow or partitioned node cannot eat the whole deadline
+		// — the cut-off attempt fails over to a successor with its own
+		// slice. The serve client re-stamps X-Parrot-Deadline from this
+		// carved ctx, so the peer sees the slice, not the full budget.
+		actx := ctx
+		if d, ok := ctx.Deadline(); ok {
+			slice := time.Until(d) / time.Duration(c.cfg.MaxAttempts-attempt)
+			if slice < 10*time.Millisecond {
+				slice = 10 * time.Millisecond
+			}
+			var acancel context.CancelFunc
+			actx, acancel = context.WithTimeout(ctx, slice)
+			defer acancel()
+		}
+		resp, node, hedged, hedgeWon, err := c.runHedged(actx, ring, digest, target, req)
 		if hedged {
 			info.Hedged = true
 		}
@@ -362,7 +385,14 @@ func (c *Client) runHedged(ctx context.Context, ring *Ring, digest, target strin
 		c.addLoad(n, 1)
 		defer c.addLoad(n, -1)
 		t0 := time.Now()
-		r, e := c.nodeClient(n).Run(cctx, req)
+		// Chaos site "cluster.partition": a masked (self → n) pair behaves
+		// exactly like an unreachable peer — transport-class error, breaker
+		// and membership evidence included.
+		var r *proto.RunResponse
+		e := c.cfg.Chaos.PartitionErr("cluster.partition", c.reg.Self(), n)
+		if e == nil {
+			r, e = c.nodeClient(n).Run(cctx, req)
+		}
 		el := time.Since(t0)
 		opened := c.breaker(n).Observe(e == nil, time.Now())
 		if opened {
@@ -407,6 +437,12 @@ func (c *Client) runHedged(ctx context.Context, ring *Ring, digest, target strin
 					c.hedgesWon.Inc()
 				} else if hedged {
 					c.hedgesLost.Inc()
+				}
+				if pending > 0 {
+					// The other leg is still in flight: cancelling it now
+					// (instead of letting it run to completion) is what keeps
+					// hedging from doubling fleet load under overload.
+					c.hedgeCancels.Inc()
 				}
 				cancel() // release the loser
 				return o.resp, o.node, hedged, o.hedge, nil

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"time"
 
+	"parrot/internal/chaos"
 	"parrot/internal/serve/proto"
 	"parrot/internal/telemetry"
 	tlog "parrot/internal/telemetry/log"
@@ -33,6 +34,9 @@ type Config struct {
 	Registry *telemetry.Registry
 	// Log receives cluster events (nil = silent).
 	Log *tlog.Logger
+	// Chaos injects deterministic faults on the routing and membership
+	// paths — partition masks, probe failures, clock skew (nil = inert).
+	Chaos *chaos.Injector
 }
 
 // Cluster is the façade the serving layer composes: membership, routing,
@@ -71,10 +75,12 @@ func New(cfg Config) *Cluster {
 		Probe:         probe,
 		Registry:      cfg.Registry,
 		Log:           cfg.Log,
+		Chaos:         cfg.Chaos,
 	})
 	ccfg := cfg.Client
 	ccfg.Registry = cfg.Registry
 	ccfg.Log = cfg.Log
+	ccfg.Chaos = cfg.Chaos
 	c.cli = NewClient(c.members, ccfg)
 
 	reg := cfg.Registry

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"parrot/internal/chaos"
 	"parrot/internal/telemetry"
 	tlog "parrot/internal/telemetry/log"
 )
@@ -96,6 +97,11 @@ type RegistryConfig struct {
 	Log *tlog.Logger
 	// Now is the clock (nil = time.Now; tests inject a fake).
 	Now func() time.Time
+	// Chaos injects deterministic faults on the membership path: site
+	// "cluster.probe" fails or delays health checks, "cluster.partition"
+	// masks probes to a peer, "cluster.clock" skews this node's probe
+	// clock (nil = inert).
+	Chaos *chaos.Injector
 }
 
 // Registry tracks peer health and derives the routing ring. All methods
@@ -253,6 +259,11 @@ func (r *Registry) Stop() {
 // the results to the state machine. Exposed so tests drive the machine
 // with a fake clock and no goroutines.
 func (r *Registry) Tick(now time.Time) {
+	// Chaos site "cluster.clock": skew this node's view of the probe clock,
+	// so suspect/dead timers fire early or late the way a drifting host's
+	// would. The skew shifts scheduling and the state machine coherently —
+	// the same (skewed) now flows into both.
+	now = now.Add(r.cfg.Chaos.Skew("cluster.clock"))
 	r.mu.Lock()
 	due := make([]string, 0, len(r.order))
 	for _, id := range r.order {
@@ -271,8 +282,16 @@ func (r *Registry) Tick(now time.Time) {
 	}
 }
 
-// probe runs one health check outside the registry lock.
+// probe runs one health check outside the registry lock. Chaos faults come
+// first: a partition mask or injected probe error is indistinguishable from
+// a genuinely unreachable peer, which is the point.
 func (r *Registry) probe(id string) error {
+	if err := r.cfg.Chaos.PartitionErr("cluster.partition", r.cfg.Self, id); err != nil {
+		return err
+	}
+	if err := r.cfg.Chaos.Inject("cluster.probe", id); err != nil {
+		return err
+	}
 	if r.cfg.Probe == nil {
 		return nil
 	}

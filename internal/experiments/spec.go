@@ -75,6 +75,28 @@ func (s RunSpec) Digest() string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// FamilyKey is Digest with the instruction budget masked out: every run of
+// the same (SimVersion, model, application) shares one family regardless
+// of -n. The serving layer's graceful-degradation path uses it to locate a
+// stale-but-related cached result when the exact digest cannot be computed
+// in time.
+func (s RunSpec) FamilyKey() string {
+	s = s.Normalize()
+	h := sha256.New()
+	wu64(h, SimVersion)
+	mb, err := json.Marshal(s.Model)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: model spec not serializable: %v", err))
+	}
+	pb, err := json.Marshal(s.App)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: profile spec not serializable: %v", err))
+	}
+	wbytes(h, mb)
+	wbytes(h, pb)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
 // canonical little-endian writers shared by the spec and result hashers.
 
 func wu64(h hash.Hash, v uint64) {

@@ -29,6 +29,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -89,6 +90,10 @@ type Server struct {
 	reqSecs  func(route string) *telemetry.Histogram
 	cellReqs func(disp string) *telemetry.Counter
 	cellSecs func(disp string) *telemetry.Histogram
+
+	deadlineReqs   *telemetry.Counter
+	deadlineBudget *telemetry.Histogram
+	degradedTotal  *telemetry.Counter
 }
 
 // New builds a server over a scheduler (required) and its cache (may be
@@ -138,6 +143,12 @@ func New(cfg Config) *Server {
 		return s.reg.Histogram("parrot_cell_seconds",
 			"Per-cell serving latency by disposition.", reqBounds, "disposition", disp)
 	}
+	s.deadlineReqs = s.reg.Counter("parrot_deadline_requests_total",
+		"Requests that arrived carrying an X-Parrot-Deadline budget header.")
+	s.deadlineBudget = s.reg.Histogram("parrot_deadline_budget_seconds",
+		"Remaining deadline budget carried by X-Parrot-Deadline.", reqBounds)
+	s.degradedTotal = s.reg.Counter("parrot_degraded_total",
+		"Run responses served as stale family fallbacks under overload (X-Parrot-Degraded: stale).")
 
 	// Scrape-time collectors over single snapshots: cache, pool, process.
 	cfg.Cache.Register(s.reg)
@@ -257,6 +268,28 @@ func (s *Server) middleware(next http.Handler) http.Handler {
 		sw.Header().Set(RequestIDHeader, reqID)
 
 		ctx := r.Context()
+		// Deadline propagation: X-Parrot-Deadline carries the caller's
+		// remaining budget in whole milliseconds (a relative budget survives
+		// clock skew between hops). It becomes this request's ctx deadline,
+		// so the scheduler's feasibility check, queue eviction and any
+		// cluster fan-out all run against the caller's clock. A zero or
+		// negative budget means the caller's deadline already lapsed: the
+		// ctx expires immediately and the handler answers 504.
+		if route == "run" || route == "matrix" || route == "result" {
+			if v := r.Header.Get(proto.DeadlineHeader); v != "" {
+				if ms, err := strconv.ParseInt(v, 10, 64); err == nil {
+					if ms < 1 {
+						ms = 1
+					}
+					budget := time.Duration(ms) * time.Millisecond
+					var cancel context.CancelFunc
+					ctx, cancel = context.WithTimeout(ctx, budget)
+					defer cancel()
+					s.deadlineReqs.Inc()
+					s.deadlineBudget.Observe(budget.Seconds())
+				}
+			}
+		}
 		rlog := s.log.With(tlog.F("reqID", reqID), tlog.F("route", route))
 		ctx = tlog.WithContext(ctx, rlog)
 		var tr *telemetry.Trace
@@ -336,17 +369,112 @@ func resolveSpec(modelID, appName string, insts int) (experiments.RunSpec, error
 // schedErrStatus maps scheduler errors onto HTTP statuses.
 func schedErrStatus(err error) int {
 	switch {
-	case errors.Is(err, sched.ErrQueueFull):
+	case errors.Is(err, sched.ErrQueueFull), errors.Is(err, sched.ErrShed):
 		return http.StatusTooManyRequests
 	case errors.Is(err, sched.ErrDraining):
 		return http.StatusServiceUnavailable
-	case errors.Is(err, context.DeadlineExceeded):
+	case errors.Is(err, sched.ErrDeadlineUnmeetable),
+		errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
 		return http.StatusRequestTimeout
 	default:
 		return http.StatusInternalServerError
 	}
+}
+
+// writeShed surfaces an admission rejection as 429 plus back-off hints in
+// every convention a client might honor: the standard Retry-After header
+// (whole seconds, rounded up, min 1), the millisecond-precision
+// X-Parrot-Retry-After-Ms companion, and the JSON error body.
+func writeShed(w http.ResponseWriter, shed *sched.ShedError) {
+	secs := int64((shed.RetryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	w.Header().Set(proto.RetryAfterMsHeader, strconv.FormatInt(shed.RetryAfter.Milliseconds(), 10))
+	writeJSON(w, http.StatusTooManyRequests, proto.Error{
+		Error:        shed.Error(),
+		RetryAfterMs: shed.RetryAfter.Milliseconds(),
+	})
+}
+
+// writeRunError surfaces a Submit failure on /v1/run. Shed and
+// deadline-class failures first try graceful degradation (serveStale);
+// sheds that cannot degrade carry Retry-After hints; everything else maps
+// through schedErrStatus. Drain rejections never degrade — a draining node
+// should shrink its work, not volunteer more.
+func (s *Server) writeRunError(ctx context.Context, w http.ResponseWriter, spec experiments.RunSpec, start time.Time, err error) {
+	degradable := errors.Is(err, sched.ErrShed) ||
+		errors.Is(err, sched.ErrDeadlineUnmeetable) ||
+		errors.Is(err, context.DeadlineExceeded)
+	if degradable && s.serveStale(ctx, w, spec, start) {
+		return
+	}
+	var shed *sched.ShedError
+	if errors.As(err, &shed) {
+		writeShed(w, shed)
+		return
+	}
+	writeErr(w, schedErrStatus(err), "%v", err)
+}
+
+// serveStale is /v1/run's graceful-degradation path for shed or
+// deadline-failed submits: first an exact-digest recheck (the cell may have
+// landed while the job queued), then the newest cached result of the same
+// (model, app, sim-version) family at any instruction budget. A family hit
+// answers 200 with explicit staleness markers — Degraded/RequestedDigest in
+// the body and X-Parrot-Degraded: stale on the wire — because an
+// approximate power number now beats a 429 for latency-bound callers, and
+// the marker lets everyone else discard it. Reports whether it wrote a
+// response.
+func (s *Server) serveStale(ctx context.Context, w http.ResponseWriter, spec experiments.RunSpec, start time.Time) bool {
+	c := s.cfg.Cache
+	if c == nil {
+		return false
+	}
+	want := spec.Digest()
+	if res, ok := c.GetCtx(ctx, want); ok {
+		// The exact cell landed while the scheduler bounced us: serve it
+		// fresh, no degradation needed.
+		elapsed := time.Since(start)
+		s.cellReqs(sched.DispCacheHit.String()).Inc()
+		s.cellSecs(sched.DispCacheHit.String()).Observe(elapsed.Seconds())
+		writeJSON(w, http.StatusOK, proto.RunResponse{
+			Digest:       want,
+			Cached:       true,
+			Disposition:  sched.DispCacheHit.String(),
+			RequestID:    telemetry.TraceFrom(ctx).ID(),
+			ResultDigest: experiments.ResultDigest(res),
+			ElapsedUs:    elapsed.Microseconds(),
+			Result:       res,
+			Node:         s.cfg.NodeID,
+		})
+		return true
+	}
+	res, digest, ok := c.GetFamily(ctx, spec.FamilyKey())
+	if !ok {
+		return false
+	}
+	s.degradedTotal.Inc()
+	elapsed := time.Since(start)
+	s.cellReqs("degraded").Inc()
+	s.cellSecs("degraded").Observe(elapsed.Seconds())
+	w.Header().Set(proto.DegradedHeader, "stale")
+	writeJSON(w, http.StatusOK, proto.RunResponse{
+		Digest:          digest,
+		Cached:          true,
+		Disposition:     "degraded",
+		RequestID:       telemetry.TraceFrom(ctx).ID(),
+		ResultDigest:    experiments.ResultDigest(res),
+		ElapsedUs:       elapsed.Microseconds(),
+		Result:          res,
+		Node:            s.cfg.NodeID,
+		Degraded:        true,
+		RequestedDigest: want,
+	})
+	return true
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
@@ -417,7 +545,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		res, disp, err = s.cfg.Sched.Submit(ctx, spec)
 	}
 	if err != nil {
-		writeErr(w, schedErrStatus(err), "%v", err)
+		s.writeRunError(ctx, w, spec, start, err)
 		return
 	}
 	if rescued {
@@ -559,6 +687,11 @@ func (s *Server) metricszJSON(w http.ResponseWriter) {
 		SimInsts:         ss.SimInsts,
 		BusyUs:           ss.BusyTime.Microseconds(),
 		SimMIPS:          ss.SimMIPS(),
+		ShedInteractive:  ss.ShedInteractive,
+		ShedBatch:        ss.ShedBatch,
+		DeadlineRejected: ss.DeadlineRejected,
+		DeadlineEvicted:  ss.DeadlineEvicted,
+		AdmitLimit:       ss.AdmitLimit,
 	}
 	if up := time.Since(s.start); up > 0 && ss.Workers > 0 {
 		m.Sched.Utilization = ss.BusyTime.Seconds() / (up.Seconds() * float64(ss.Workers))

@@ -93,59 +93,71 @@ func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// Gather. A failed cell becomes an explicit per-cell failure entry —
+	// the matrix completes partial instead of aborting the whole fan-out —
+	// except when the matrix-level ctx itself is dead (timeout or client
+	// gone), where one terminal error beats a flood of identical per-cell
+	// failures.
 	cells := make([]cellOutcome, total)
-	cachedCells := 0
+	cachedCells, failed := 0, 0
 	for n := 1; n <= total; n++ {
 		d := <-done
 		if d.err != nil {
-			emit("error", proto.Error{Error: d.err.Error()})
-			return
-		}
-		cells[d.idx] = d
-		if d.cached {
+			if ctx.Err() != nil {
+				emit("error", proto.Error{Error: ctx.Err().Error()})
+				return
+			}
+			failed++
+		} else if d.cached {
 			cachedCells++
 		}
+		cells[d.idx] = d
 		elapsed := time.Since(start)
 		eta := time.Duration(int64(elapsed) / int64(n) * int64(total-n))
 		emit("progress", proto.Progress{
 			Done: n, Total: total,
 			ElapsedUs: elapsed.Microseconds(), EtaUs: eta.Microseconds(),
 			Cached: d.cached, Disposition: d.disp,
+			Failed: failed,
 		})
 	}
 
-	// Reassemble the matrix with the shared constructor so PMax and the
-	// digest are derived exactly as experiments.Run derives them.
-	res := experiments.Assemble(models, apps, req.Insts,
-		func(m config.Model, p workload.Profile) *core.Result {
-			for mi, mm := range models {
-				if mm.ID != m.ID {
-					continue
-				}
-				for ai, pp := range apps {
-					if pp.Name == p.Name {
-						return cells[mi*len(apps)+ai].res
-					}
-				}
-			}
-			return nil
-		})
-
 	out := proto.MatrixResponse{
-		Digest:      res.Digest(),
-		PMax:        res.PMax,
-		PMaxApp:     res.PMaxApp,
 		Insts:       req.Insts,
 		CachedCells: cachedCells,
 		TotalCells:  total,
+		FailedCells: failed,
 		ElapsedUs:   time.Since(start).Microseconds(),
 		RequestID:   telemetry.TraceFrom(ctx).ID(),
 		Cells:       make([]proto.Cell, 0, total),
 	}
+	if failed == 0 {
+		// Reassemble the matrix with the shared constructor so PMax and the
+		// digest are derived exactly as experiments.Run derives them. A
+		// partial matrix carries no digest: the canonical hash covers every
+		// cell, and a partial hash would collide with nothing meaningful.
+		res := experiments.Assemble(models, apps, req.Insts,
+			func(m config.Model, p workload.Profile) *core.Result {
+				for mi, mm := range models {
+					if mm.ID != m.ID {
+						continue
+					}
+					for ai, pp := range apps {
+						if pp.Name == p.Name {
+							return cells[mi*len(apps)+ai].res
+						}
+					}
+				}
+				return nil
+			})
+		out.Digest = res.Digest()
+		out.PMax = res.PMax
+		out.PMaxApp = res.PMaxApp
+	}
 	for mi, m := range models {
 		for ai, p := range apps {
 			d := cells[mi*len(apps)+ai]
-			out.Cells = append(out.Cells, proto.Cell{
+			cell := proto.Cell{
 				Model:       string(m.ID),
 				App:         p.Name,
 				Digest:      experiments.RunSpec{Model: m, App: p, Insts: req.Insts}.Digest(),
@@ -153,7 +165,11 @@ func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
 				Disposition: d.disp,
 				Result:      d.res,
 				Node:        d.node,
-			})
+			}
+			if d.err != nil {
+				cell.Error = d.err.Error()
+			}
+			out.Cells = append(out.Cells, cell)
 		}
 	}
 	emit("result", out)

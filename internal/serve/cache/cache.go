@@ -19,6 +19,7 @@ import (
 	"encoding/json"
 	"sync"
 
+	"parrot/internal/chaos"
 	"parrot/internal/core"
 	"parrot/internal/experiments"
 	"parrot/internal/metrics"
@@ -62,6 +63,10 @@ type Config struct {
 	// created if missing. Disk entries are not budgeted (cells are a few
 	// KiB; a full 44×7 matrix is ~1 MiB).
 	Dir string
+	// Chaos, when non-nil, arms the "cache.disk.get" / "cache.disk.put"
+	// injection sites: slow-disk latency and I/O faults (a failed read is
+	// a miss, a failed write counts a DiskErrors).
+	Chaos *chaos.Injector
 }
 
 // entry is one resident cell: the encoded payload (canonical JSON of the
@@ -83,6 +88,13 @@ type Cache struct {
 	head    *entry // most recently used
 	tail    *entry // least recently used
 	dir     string
+	chaos   *chaos.Injector
+
+	// families maps a spec family key (model+app, insts masked — see
+	// experiments.RunSpec.FamilyKey) to the digest of the family's most
+	// recently stored member. It is a secondary index only — entries own
+	// the bytes, and a family whose member was evicted simply misses.
+	families map[string]string
 
 	// occupancy histograms encoded entry sizes over all insertions — the
 	// byte-budget sizing signal surfaced on /metricsz.
@@ -99,9 +111,11 @@ func New(cfg Config) (*Cache, error) {
 		budget = 64 << 20
 	}
 	c := &Cache{
-		budget:  budget,
-		entries: make(map[string]*entry),
-		dir:     cfg.Dir,
+		budget:   budget,
+		entries:  make(map[string]*entry),
+		families: make(map[string]string),
+		dir:      cfg.Dir,
+		chaos:    cfg.Chaos,
 		// Entry-size buckets: cells encode to a few KiB; 1 KiB steps up to
 		// 16 KiB cover the realistic range, the overflow bucket catches the
 		// rest.
@@ -231,6 +245,34 @@ func (c *Cache) Put(digest string, res *core.Result) error {
 		c.mu.Unlock()
 	}
 	return nil
+}
+
+// PutTagged is Put plus a family-index update: the digest becomes the
+// family's most recent member, making it discoverable by GetFamily when a
+// later run of the same (model, app) family must degrade to a stale
+// result under overload.
+func (c *Cache) PutTagged(digest, family string, res *core.Result) error {
+	c.mu.Lock()
+	c.families[family] = digest
+	c.mu.Unlock()
+	return c.Put(digest, res)
+}
+
+// GetFamily returns the most recently stored member of a spec family (and
+// the digest it is stored under), or ok=false when the family has no
+// resident member. Telemetry mirrors GetCtx.
+func (c *Cache) GetFamily(ctx context.Context, family string) (*core.Result, string, bool) {
+	c.mu.Lock()
+	digest, ok := c.families[family]
+	c.mu.Unlock()
+	if !ok {
+		return nil, "", false
+	}
+	res, found := c.GetCtx(ctx, digest)
+	if !found {
+		return nil, "", false
+	}
+	return res, digest, true
 }
 
 // insertLocked adds a payload under the digest and evicts LRU entries until

@@ -137,6 +137,11 @@ func VerifyEntry(raw []byte, wantSpecDigest string) (*core.Result, []byte, strin
 // diskGet loads and verifies one entry. Corrupt entries are expunged so
 // they are rebuilt at most once.
 func (c *Cache) diskGet(digest string) (*core.Result, []byte, string, bool) {
+	// Chaos site "cache.disk.get": slow-disk latency, or a read fault that
+	// degrades to a plain miss (the entry stays on disk).
+	if c.chaos.Inject("cache.disk.get", digest) != nil {
+		return nil, nil, "", false
+	}
 	raw, err := os.ReadFile(c.entryPath(digest))
 	if err != nil {
 		return nil, nil, "", false // absent (or unreadable): plain miss
@@ -157,6 +162,11 @@ func (c *Cache) diskGet(digest string) (*core.Result, []byte, string, bool) {
 // observe a partially written entry; crashes leave only temp files (ignored
 // and overwritten by later writes).
 func (c *Cache) diskPut(digest string, payload []byte, resDigest string) error {
+	// Chaos site "cache.disk.put": slow or failing writes; a fault counts
+	// a DiskErrors in the caller, like any real write failure.
+	if err := c.chaos.Inject("cache.disk.put", digest); err != nil {
+		return err
+	}
 	raw := EncodeEntry(digest, resDigest, payload)
 	var rnd [6]byte
 	if _, err := rand.Read(rnd[:]); err != nil {

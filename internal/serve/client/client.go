@@ -22,9 +22,11 @@ import (
 	"net"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
+	"parrot/internal/chaos"
 	"parrot/internal/experiments"
 	"parrot/internal/serve/proto"
 	"parrot/internal/telemetry"
@@ -77,12 +79,21 @@ func WithHeader(key, value string) Option {
 	}
 }
 
+// WithChaos installs a fault injector on the request path (site
+// "client.request", subject = URL path). Injected errors are
+// transport-class, so they exercise the exact retry ladder a real
+// connection reset would.
+func WithChaos(in *chaos.Injector) Option {
+	return func(c *Client) { c.chaos = in }
+}
+
 // Client talks to one parrotd instance.
 type Client struct {
 	base    string
 	hc      *http.Client
 	retry   RetryPolicy
 	headers map[string]string
+	chaos   *chaos.Injector
 }
 
 // New builds a client for a server base URL, e.g. "http://127.0.0.1:8044".
@@ -119,15 +130,42 @@ func IsTransportErr(err error) bool {
 		errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)
 }
 
-// retryable reports whether an attempt outcome warrants another try:
-// transport errors and 5xx responses (the server never 5xxes a valid run
-// request except under transient overload or drain).
-func retryable(status int, err error) bool {
-	if err != nil {
-		return IsTransportErr(err) && !errors.Is(err, context.Canceled) &&
-			!errors.Is(err, context.DeadlineExceeded)
+// HTTPError is a non-200 response the server actually produced, carrying
+// the status and any back-off hint (Retry-After / X-Parrot-Retry-After-Ms
+// header, or the JSON body's retryAfterMs) from a 429 shed.
+type HTTPError struct {
+	Status     int
+	Msg        string
+	RetryAfter time.Duration
+}
+
+func (e *HTTPError) Error() string {
+	if e.Msg != "" {
+		return fmt.Sprintf("server: %s (HTTP %d)", e.Msg, e.Status)
 	}
-	return status >= 500
+	return fmt.Sprintf("server: HTTP %d", e.Status)
+}
+
+// AsHTTPError unwraps an HTTP-level error from this client.
+func AsHTTPError(err error) (*HTTPError, bool) {
+	var he *HTTPError
+	ok := errors.As(err, &he)
+	return he, ok
+}
+
+// retryable reports whether an attempt outcome warrants another try:
+// transport errors, 5xx responses (the server never 5xxes a valid run
+// request except under transient overload or drain), and 429 sheds — but a
+// shed only when the server attached a Retry-After hint, so a client never
+// hammers a server that is explicitly load-shedding without telling it when
+// to come back. Plain 4xxes are the caller's bug and never retry.
+func retryable(err error) bool {
+	if he, ok := AsHTTPError(err); ok {
+		return he.Status >= 500 ||
+			(he.Status == http.StatusTooManyRequests && he.RetryAfter > 0)
+	}
+	return IsTransportErr(err) && !errors.Is(err, context.Canceled) &&
+		!errors.Is(err, context.DeadlineExceeded)
 }
 
 // backoffDelay returns the jittered exponential delay before attempt+1.
@@ -142,11 +180,26 @@ func (p RetryPolicy) backoffDelay(attempt int) time.Duration {
 // do issues one request built by build, retrying per the policy. It
 // returns the final response (status 200, body open) and the attempt
 // count; non-200 final responses are decoded into an error.
+//
+// Two deadline rules keep retries honest under overload: a sleep is never
+// started that the remaining ctx budget cannot cover (bail with the last
+// error instead — sleeping into a dead deadline just delays the failure),
+// and each attempt re-stamps X-Parrot-Deadline with the budget still left,
+// so the server sees the caller's true remaining patience, not the
+// original one. A server Retry-After hint overrides the exponential
+// backoff for the following sleep.
 func (c *Client) do(ctx context.Context, build func() (*http.Request, error)) (*http.Response, int, error) {
 	var lastErr error
 	for attempt := 0; attempt < c.retry.MaxAttempts; attempt++ {
 		if attempt > 0 {
-			t := time.NewTimer(c.retry.backoffDelay(attempt - 1))
+			wait := c.retry.backoffDelay(attempt - 1)
+			if he, ok := AsHTTPError(lastErr); ok && he.RetryAfter > 0 {
+				wait = he.RetryAfter
+			}
+			if d, ok := ctx.Deadline(); ok && time.Until(d) < wait {
+				return nil, attempt, lastErr
+			}
+			t := time.NewTimer(wait)
 			select {
 			case <-t.C:
 			case <-ctx.Done():
@@ -162,6 +215,29 @@ func (c *Client) do(ctx context.Context, build func() (*http.Request, error)) (*
 		for k, v := range c.headers {
 			req.Header.Set(k, v)
 		}
+		if d, ok := ctx.Deadline(); ok {
+			remaining := time.Until(d)
+			if remaining <= 0 {
+				if lastErr != nil {
+					return nil, attempt, lastErr
+				}
+				// ctx.Err() can still race to nil right at expiry; never
+				// return (nil, nil) to callers expecting a response.
+				if err := ctx.Err(); err != nil {
+					return nil, attempt, err
+				}
+				return nil, attempt, context.DeadlineExceeded
+			}
+			ms := remaining.Milliseconds()
+			if ms < 1 {
+				ms = 1
+			}
+			req.Header.Set(proto.DeadlineHeader, strconv.FormatInt(ms, 10))
+		}
+		if cerr := c.chaos.Inject("client.request", req.URL.Path); cerr != nil {
+			lastErr = cerr
+			continue // transport-class by construction: always retryable
+		}
 		resp, err := c.hc.Do(req)
 		if err == nil && resp.StatusCode == http.StatusOK {
 			return resp, attempt + 1, nil
@@ -171,12 +247,12 @@ func (c *Client) do(ctx context.Context, build func() (*http.Request, error)) (*
 			io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
 			resp.Body.Close()
 			lastErr = herr
-			if !retryable(resp.StatusCode, nil) {
+			if !retryable(herr) {
 				return nil, attempt + 1, herr
 			}
 		} else {
 			lastErr = err
-			if !retryable(0, err) {
+			if !retryable(err) {
 				return nil, attempt + 1, err
 			}
 		}
@@ -215,12 +291,32 @@ func (c *Client) getJSON(ctx context.Context, path string, out any) error {
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
+// decodeErr turns a non-200 response into an *HTTPError, harvesting the
+// back-off hint from (in precedence order) the millisecond-precision
+// X-Parrot-Retry-After-Ms header, the standard whole-second Retry-After,
+// then the JSON body's retryAfterMs.
 func decodeErr(resp *http.Response) error {
-	var e proto.Error
-	if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<10)).Decode(&e); err == nil && e.Error != "" {
-		return fmt.Errorf("server: %s (HTTP %d)", e.Error, resp.StatusCode)
+	he := &HTTPError{Status: resp.StatusCode}
+	if v := resp.Header.Get(proto.RetryAfterMsHeader); v != "" {
+		if ms, err := strconv.ParseInt(v, 10, 64); err == nil && ms > 0 {
+			he.RetryAfter = time.Duration(ms) * time.Millisecond
+		}
 	}
-	return fmt.Errorf("server: HTTP %d", resp.StatusCode)
+	if he.RetryAfter == 0 {
+		if v := resp.Header.Get("Retry-After"); v != "" {
+			if secs, err := strconv.ParseInt(v, 10, 64); err == nil && secs > 0 {
+				he.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
+	}
+	var e proto.Error
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<10)).Decode(&e); err == nil {
+		he.Msg = e.Error
+		if he.RetryAfter == 0 && e.RetryAfterMs > 0 {
+			he.RetryAfter = time.Duration(e.RetryAfterMs) * time.Millisecond
+		}
+	}
+	return he
 }
 
 // verifyRun checks a run response's result against its reported digest.
@@ -423,6 +519,11 @@ func (c *Client) Matrix(ctx context.Context, req proto.MatrixRequest, onProgress
 	for i := range out.Cells {
 		cell := &out.Cells[i]
 		if cell.Result == nil {
+			// An explicit per-cell failure is a legal partial-matrix entry;
+			// a silently absent result is still a protocol violation.
+			if cell.Error != "" {
+				continue
+			}
 			return nil, fmt.Errorf("client: cell %s/%s missing result", cell.Model, cell.App)
 		}
 	}

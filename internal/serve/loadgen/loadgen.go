@@ -62,6 +62,18 @@ type Config struct {
 	Apps   []string
 	Insts  int
 	Seed   int64
+
+	// BatchFraction sends this share of requests on the batch priority
+	// class (0 = all interactive). Overload runs mix classes to prove
+	// batch sheds before interactive.
+	BatchFraction float64
+	// Distinct, when > 0, churns each request's instruction budget through
+	// Distinct variants (Insts, Insts+1, …), defeating the result cache —
+	// a cold storm that forces real simulation work under overload.
+	Distinct int
+	// DeadlineMs stamps each request with a per-request ctx deadline, so
+	// the X-Parrot-Deadline propagation path is exercised (0 = none).
+	DeadlineMs int
 }
 
 // Percentiles summarizes a latency population (microseconds).
@@ -87,11 +99,34 @@ type Report struct {
 	DistinctMod int     `json:"distinctModels"`
 	DistinctApp int     `json:"distinctApps"`
 
+	// Overload accounting. Shed counts 429 rejections (they are not
+	// Errors: a correct shed is the overload design working); ShedHintOK
+	// counts sheds that carried a usable Retry-After hint — the smoke
+	// test's shed-correctness gate is Shed == ShedHintOK. Degraded counts
+	// 200s served as stale family fallbacks. Server5xx counts responses
+	// the overload design promises never to produce.
+	Shed       int `json:"shed,omitempty"`
+	ShedHintOK int `json:"shedHintOk,omitempty"`
+	Degraded   int `json:"degraded,omitempty"`
+	Server5xx  int `json:"server5xx,omitempty"`
+	// InteractiveOK/BatchOK are per-class goodput (successful responses,
+	// degraded included): interactive must out-survive batch under storm.
+	InteractiveOK int `json:"interactiveOk,omitempty"`
+	BatchOK       int `json:"batchOk,omitempty"`
+	// InteractiveFresh/BatchFresh exclude degraded fallbacks: stale serving
+	// rescues both classes alike, so the priority differential the limiter
+	// enforces is only visible in fresh (simulated or exact-hit) goodput.
+	InteractiveFresh int `json:"interactiveFresh,omitempty"`
+	BatchFresh       int `json:"batchFresh,omitempty"`
+
 	// All/Cached/Uncached split the latency population by cache
 	// disposition: the acceptance gate is on Cached.P99.
 	All      Percentiles `json:"latency"`
 	Cached   Percentiles `json:"cachedLatency"`
 	Uncached Percentiles `json:"uncachedLatency"`
+	// Interactive covers successful interactive-class requests only — the
+	// overload smoke's bounded-p99 gate reads it.
+	Interactive Percentiles `json:"interactiveLatency,omitempty"`
 
 	// Histograms carries the full latency distributions (µs buckets,
 	// geometric bounds) — the machine-readable loadreport.json payload that
@@ -113,9 +148,14 @@ type LatencyHists struct {
 func latencyBounds() []int { return metrics.ExpBuckets(10, 2, 22) }
 
 type sample struct {
-	us     float64
-	cached bool
-	err    bool
+	us       float64
+	cached   bool
+	err      bool
+	batch    bool
+	shed     bool
+	shedHint bool
+	degraded bool
+	s5xx     bool
 }
 
 // Run executes the configured load against the server.
@@ -154,26 +194,55 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	}
 
 	runCtx := ctx
-	var cancel context.CancelFunc
 	if cfg.Duration > 0 {
-		runCtx, cancel = context.WithTimeout(ctx, cfg.Duration)
+		// A cancel ctx driven by a timer, NOT WithTimeout: the window bounds
+		// the measurement, it is not each request's patience. A ctx deadline
+		// here would be stamped onto every request as X-Parrot-Deadline and
+		// the server would (correctly) 504 requests issued near window end.
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithCancel(ctx)
+		t := time.AfterFunc(cfg.Duration, cancel)
+		defer t.Stop()
 		defer cancel()
 	}
 
 	issue := func(i int) {
 		req := cells[i%len(cells)]
+		if cfg.Distinct > 0 {
+			// Cold storm: churn the instruction budget so consecutive laps
+			// over the cell ring are distinct digests, not cache hits.
+			req.Insts = req.Insts + (i/len(cells))%cfg.Distinct
+		}
+		// Interleave the class split at fine grain (stride 997 is coprime to
+		// 1000, so the pattern mixes instead of front-loading one class).
+		batch := cfg.BatchFraction > 0 && float64(i*997%1000) < cfg.BatchFraction*1000
+		if batch {
+			req.Priority = proto.PriorityBatch
+		}
+		reqCtx := runCtx
+		if cfg.DeadlineMs > 0 {
+			var cancel context.CancelFunc
+			reqCtx, cancel = context.WithTimeout(runCtx, time.Duration(cfg.DeadlineMs)*time.Millisecond)
+			defer cancel()
+		}
 		start := time.Now()
-		resp, err := clients[i%len(clients)].Run(runCtx, req)
+		resp, err := clients[i%len(clients)].Run(reqCtx, req)
 		el := float64(time.Since(start).Microseconds())
 		if err != nil {
 			// Runs cut off by the load window are not service errors.
 			if runCtx.Err() != nil {
 				return
 			}
-			record(sample{us: el, err: true})
+			s := sample{us: el, err: true, batch: batch}
+			if he, ok := client.AsHTTPError(err); ok {
+				s.shed = he.Status == 429
+				s.shedHint = s.shed && he.RetryAfter > 0
+				s.s5xx = he.Status >= 500
+			}
+			record(s)
 			return
 		}
-		record(sample{us: el, cached: resp.Cached})
+		record(sample{us: el, cached: resp.Cached, batch: batch, degraded: resp.Degraded})
 	}
 
 	start := time.Now()
@@ -306,11 +375,38 @@ func summarize(mode string, cfg Config, samples []sample, elapsed time.Duration)
 		Cached:   metrics.NewHistogram(latencyBounds()...),
 		Uncached: metrics.NewHistogram(latencyBounds()...),
 	}
-	var all, hit, miss []float64
+	var all, hit, miss, inter []float64
 	for _, s := range samples {
 		if s.err {
+			if s.shed {
+				// A 429 shed is the overload design working, not a failure;
+				// it is graded separately (and on whether it carried a hint).
+				r.Shed++
+				if s.shedHint {
+					r.ShedHintOK++
+				}
+				continue
+			}
+			if s.s5xx {
+				r.Server5xx++
+			}
 			r.Errors++
 			continue
+		}
+		if s.degraded {
+			r.Degraded++
+		}
+		if s.batch {
+			r.BatchOK++
+			if !s.degraded {
+				r.BatchFresh++
+			}
+		} else {
+			r.InteractiveOK++
+			if !s.degraded {
+				r.InteractiveFresh++
+			}
+			inter = append(inter, s.us)
 		}
 		all = append(all, s.us)
 		hists.All.Add(int(s.us))
@@ -333,6 +429,7 @@ func summarize(mode string, cfg Config, samples []sample, elapsed time.Duration)
 	r.All = percentiles(all)
 	r.Cached = percentiles(hit)
 	r.Uncached = percentiles(miss)
+	r.Interactive = percentiles(inter)
 	return r
 }
 
@@ -366,6 +463,11 @@ func (r *Report) String() string {
 		r.Mode, r.Requests, r.Errors, r.DistinctMod, r.DistinctApp,
 		float64(r.ElapsedMs)/1000, r.Throughput)
 	fmt.Fprintf(&b, "  cache hit rate %.1f%% (%d/%d)\n", 100*r.HitRate, r.CacheHits, r.Requests-r.Errors)
+	if r.Shed > 0 || r.Degraded > 0 || r.Server5xx > 0 {
+		fmt.Fprintf(&b, "  overload: shed %d (with Retry-After %d)  degraded %d  5xx %d  goodput interactive %d / batch %d  (fresh %d / %d)\n",
+			r.Shed, r.ShedHintOK, r.Degraded, r.Server5xx, r.InteractiveOK, r.BatchOK,
+			r.InteractiveFresh, r.BatchFresh)
+	}
 	row := func(name string, p Percentiles) {
 		if p.N == 0 {
 			return
@@ -376,5 +478,8 @@ func (r *Report) String() string {
 	row("all", r.All)
 	row("cached", r.Cached)
 	row("uncached", r.Uncached)
+	if r.Shed > 0 || r.Degraded > 0 {
+		row("interact.", r.Interactive)
+	}
 	return b.String()
 }

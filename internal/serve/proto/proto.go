@@ -14,6 +14,22 @@ const (
 	PriorityBatch       = "batch"       // matrix fan-out, throughput-oriented
 )
 
+// Overload-resilience headers shared by the api middleware, the client
+// library and the cluster forwarding path.
+const (
+	// DeadlineHeader carries the request's remaining deadline budget in
+	// whole milliseconds. A relative budget (not an absolute timestamp)
+	// survives clock skew between hops; each hop re-stamps the remaining
+	// budget from its own ctx deadline before forwarding.
+	DeadlineHeader = "X-Parrot-Deadline"
+	// DegradedHeader marks a /v1/run response served from a stale family
+	// fallback under shed or deadline pressure (value "stale").
+	DegradedHeader = "X-Parrot-Degraded"
+	// RetryAfterMsHeader is the millisecond-precision companion of the
+	// standard Retry-After header on 429 shed responses.
+	RetryAfterMsHeader = "X-Parrot-Retry-After-Ms"
+)
+
 // RunRequest asks for one simulation cell. Model and App are resolved
 // server-side against the paper's model set and benchmark roster; the
 // server canonicalizes the pair plus Insts into a RunSpec and serves the
@@ -56,6 +72,12 @@ type RunResponse struct {
 	// Attempts counts transport attempts the client layer needed (1 = first
 	// try; populated client-side by the retrying client, not the server).
 	Attempts int `json:"attempts,omitempty"`
+	// Degraded marks a stale family fallback served under shed or deadline
+	// pressure: Digest/Result belong to a previously cached run of the same
+	// (model, app) family — possibly at a different instruction budget —
+	// and RequestedDigest is the digest that was actually asked for.
+	Degraded        bool   `json:"degraded,omitempty"`
+	RequestedDigest string `json:"requestedDigest,omitempty"`
 }
 
 // MatrixRequest asks for a model × application fan-out. Empty slices mean
@@ -80,6 +102,9 @@ type Progress struct {
 	Cached bool `json:"cached"`
 	// Disposition refines Cached ("hit", "dedup", "replayed", "exact").
 	Disposition string `json:"disposition,omitempty"`
+	// Failed counts cells (cumulative) that ended in a per-cell error
+	// instead of a result.
+	Failed int `json:"failed,omitempty"`
 }
 
 // Cell is one (model, application) result of a matrix response.
@@ -94,6 +119,10 @@ type Cell struct {
 	// Node is the cluster node that served the cell (empty when the
 	// coordinator ran it in-process on a single-node daemon).
 	Node string `json:"node,omitempty"`
+	// Error is set (and Result nil) when the cell failed — shed, deadline
+	// exceeded, or simulation error. The matrix completes with explicit
+	// per-cell failures instead of aborting the whole fan-out.
+	Error string `json:"error,omitempty"`
 }
 
 // MatrixResponse is the SSE "result" event payload of /v1/matrix: the full
@@ -111,6 +140,10 @@ type MatrixResponse struct {
 	CachedCells int   `json:"cachedCells"`
 	TotalCells  int   `json:"totalCells"`
 	ElapsedUs   int64 `json:"elapsedUs"`
+	// FailedCells counts cells that carry a per-cell Error instead of a
+	// result. When non-zero the matrix is partial: Digest and PMax are
+	// empty/zero because the canonical matrix hash covers all cells.
+	FailedCells int `json:"failedCells,omitempty"`
 	// RequestID correlates the matrix with its /v1/trace/{id} timeline.
 	RequestID string `json:"requestId,omitempty"`
 	Cells     []Cell `json:"cells"`
@@ -119,6 +152,9 @@ type MatrixResponse struct {
 // Error is the JSON error body of non-2xx responses.
 type Error struct {
 	Error string `json:"error"`
+	// RetryAfterMs is the server's back-off hint on 429 shed responses
+	// (also carried in the Retry-After / X-Parrot-Retry-After-Ms headers).
+	RetryAfterMs int64 `json:"retryAfterMs,omitempty"`
 }
 
 // Health is the /healthz body.
@@ -205,6 +241,12 @@ type SchedMetrics struct {
 	BusyUs           int64   `json:"busyUs"`
 	SimMIPS          float64 `json:"simMIPS"`     // simulated Minsts per busy second
 	Utilization      float64 `json:"utilization"` // busy time / (workers × uptime)
+	// Overload-resilience counters (see DESIGN.md §14).
+	ShedInteractive  uint64  `json:"shedInteractive"`
+	ShedBatch        uint64  `json:"shedBatch"`
+	DeadlineRejected uint64  `json:"deadlineRejected"`
+	DeadlineEvicted  uint64  `json:"deadlineEvicted"`
+	AdmitLimit       float64 `json:"admitLimit"`
 }
 
 // PoolMetrics exposes machine-pool counters.

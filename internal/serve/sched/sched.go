@@ -15,7 +15,15 @@
 //   - bounded queues with explicit rejection (ErrQueueFull) instead of
 //     unbounded buffering, and per-caller context cancellation: a waiter
 //     that gives up stops waiting immediately, and a queued job whose
-//     every waiter has gone away is abandoned without simulating.
+//     every waiter has gone away is abandoned without simulating;
+//   - adaptive admission control: an AIMD limiter over total load
+//     (running + queued), fed by observed interactive queue waits vs. a
+//     target, sheds work (*ShedError → 429 + Retry-After upstream) before
+//     queues grow hopeless — batch sheds before interactive (limiter.go);
+//   - deadline awareness: a submit whose remaining ctx deadline is below
+//     the cost model's run-time estimate fast-fails with
+//     ErrDeadlineUnmeetable, and a queued job whose deadline lapses before
+//     a worker pops it is evicted instead of simulated for nobody.
 //
 // Telemetry: every Submit resolves to a Disposition (cache hit,
 // singleflight dedup, memo replay, exact simulation) that the HTTP layer
@@ -24,19 +32,22 @@
 // for the queue residency, machine checkout, the run itself and the cache
 // write-back. Stats counters follow a strict no-torn-reads discipline:
 // each submit outcome increments Submitted *and* its outcome counter
-// inside one critical section, so any Stats() snapshot satisfies
-// Submitted == CacheHits + Deduped + Enqueued + Rejected + DrainRejected
-// exactly (pinned by TestStatsNeverTorn under the race detector).
+// inside one critical section, so any Stats() snapshot has Submitted equal
+// to the exact sum of CacheHits, Deduped, Enqueued, Rejected,
+// DrainRejected, ShedInteractive, ShedBatch and DeadlineRejected (pinned
+// by TestStatsNeverTorn under the race detector).
 package sched
 
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
 	"strconv"
 	"sync"
 	"time"
 
+	"parrot/internal/chaos"
 	"parrot/internal/config"
 	"parrot/internal/core"
 	"parrot/internal/experiments"
@@ -118,20 +129,39 @@ type Config struct {
 	// Log, when non-nil, receives structured events (abandoned jobs,
 	// drain lifecycle).
 	Log *tlog.Logger
+	// AdmitTarget is the interactive queue-wait target feeding the AIMD
+	// admission limiter (<=0 = 250ms). Waits above it shrink the
+	// concurrency limit multiplicatively; waits below grow it additively.
+	AdmitTarget time.Duration
+	// AdmitMin / AdmitMax bound the admission limit in jobs
+	// (running + queued). Defaults: Workers+1 and QueueCap+Workers.
+	AdmitMin, AdmitMax int
+	// Now overrides the scheduler's clock (nil = time.Now) — the fake-clock
+	// seam the drain-under-load and limiter tests use.
+	Now func() time.Time
+	// Chaos, when non-nil, arms the "sched.run" injection site: extra
+	// latency (inside the busy window, so the cost model sees it) and
+	// fault injection around each simulation run.
+	Chaos *chaos.Injector
 }
 
 // Stats counts scheduler traffic. At any instant,
-// Submitted == CacheHits + Deduped + Enqueued + Rejected + DrainRejected.
+// Submitted == CacheHits + Deduped + Enqueued + Rejected + DrainRejected
+// + ShedInteractive + ShedBatch + DeadlineRejected.
 type Stats struct {
-	Submitted     uint64 // Submit calls
-	CacheHits     uint64 // served from cache without queueing
-	Deduped       uint64 // joined an in-flight identical spec
-	Enqueued      uint64 // entered a queue
-	Rejected      uint64 // bounced on a full queue
-	DrainRejected uint64 // bounced because the scheduler is draining
-	Completed     uint64 // simulations actually executed
-	Replayed      uint64 // completed via hot-window memo replay on a pooled machine
-	Abandoned     uint64 // queued jobs dropped because every waiter left
+	Submitted        uint64 // Submit calls
+	CacheHits        uint64 // served from cache without queueing
+	Deduped          uint64 // joined an in-flight identical spec
+	Enqueued         uint64 // entered a queue
+	Rejected         uint64 // bounced on a full queue
+	DrainRejected    uint64 // bounced because the scheduler is draining
+	ShedInteractive  uint64 // interactive jobs bounced by admission control
+	ShedBatch        uint64 // batch jobs bounced by admission control
+	DeadlineRejected uint64 // fast-failed: remaining deadline below cost estimate
+	Completed        uint64 // simulations actually executed
+	Replayed         uint64 // completed via hot-window memo replay on a pooled machine
+	Abandoned        uint64 // queued jobs dropped because every waiter left
+	DeadlineEvicted  uint64 // queued jobs evicted after their deadline lapsed
 
 	SimInsts  uint64        // dynamic instructions simulated (measured window)
 	SimCycles uint64        // simulated cycles across completed runs
@@ -142,6 +172,13 @@ type Stats struct {
 	InteractiveDepth int
 	BatchDepth       int
 	Workers          int
+
+	// AdmitLimit is the admission limiter's current concurrency limit.
+	AdmitLimit float64
+	// OldestInteractive / OldestBatch are the queue head ages (zero when
+	// the queue is empty) — the queue-age signal overload dashboards watch.
+	OldestInteractive time.Duration
+	OldestBatch       time.Duration
 }
 
 // SimMIPS returns simulated measured instructions per busy-second, in
@@ -172,6 +209,7 @@ type job struct {
 	tr         *telemetry.Trace // first waiter's request trace (may be nil)
 	enqueuedAt time.Time
 	popAt      time.Time // set when a worker takes the job
+	deadline   time.Time // first waiter's ctx deadline (zero = none)
 }
 
 // Sched dispatches RunSpecs onto a worker fleet. All methods are safe for
@@ -188,6 +226,9 @@ type Sched struct {
 	notReady bool // prewarm still running: serve, but tell peers not to route here
 	stats    Stats
 	wg       sync.WaitGroup
+	limiter  *limiter   // adaptive admission control (guarded by mu)
+	cost     *costModel // per-model run-time EWMA (guarded by mu)
+	now      func() time.Time
 
 	// Registry instruments (nil when no registry: all no-ops).
 	queueWait [2]*telemetry.Histogram // per priority class
@@ -219,6 +260,20 @@ func New(cfg Config) *Sched {
 	if s.pool == nil {
 		s.pool = core.DefaultPool
 	}
+	s.now = cfg.Now
+	if s.now == nil {
+		s.now = time.Now
+	}
+	admitMin := float64(cfg.AdmitMin)
+	if cfg.AdmitMin <= 0 {
+		admitMin = float64(cfg.Workers + 1)
+	}
+	admitMax := float64(cfg.AdmitMax)
+	if cfg.AdmitMax <= 0 {
+		admitMax = float64(cfg.QueueCap + cfg.Workers)
+	}
+	s.limiter = newLimiter(cfg.AdmitTarget, admitMin, admitMax, s.now())
+	s.cost = newCostModel()
 	s.cond = sync.NewCond(&s.mu)
 	s.stats.Workers = cfg.Workers
 
@@ -266,6 +321,28 @@ func (s *Sched) collect(emit telemetry.Emit) {
 		float64(st.Rejected), "outcome", "rejected")
 	emit("parrot_sched_outcomes_total", "counter", "Submit outcomes (Submitted = sum over outcomes).",
 		float64(st.DrainRejected), "outcome", "drain_rejected")
+	emit("parrot_sched_outcomes_total", "counter", "Submit outcomes (Submitted = sum over outcomes).",
+		float64(st.ShedInteractive), "outcome", "shed_interactive")
+	emit("parrot_sched_outcomes_total", "counter", "Submit outcomes (Submitted = sum over outcomes).",
+		float64(st.ShedBatch), "outcome", "shed_batch")
+	emit("parrot_sched_outcomes_total", "counter", "Submit outcomes (Submitted = sum over outcomes).",
+		float64(st.DeadlineRejected), "outcome", "deadline_rejected")
+	emit("parrot_shed_total", "counter", "Jobs bounced by adaptive admission control, by class.",
+		float64(st.ShedInteractive), "class", "interactive")
+	emit("parrot_shed_total", "counter", "Jobs bounced by adaptive admission control, by class.",
+		float64(st.ShedBatch), "class", "batch")
+	emit("parrot_deadline_rejected_total", "counter",
+		"Submits fast-failed because the remaining deadline was below the cost estimate.",
+		float64(st.DeadlineRejected))
+	emit("parrot_deadline_evicted_total", "counter",
+		"Queued jobs evicted at pop time after their deadline lapsed.",
+		float64(st.DeadlineEvicted))
+	emit("parrot_admit_limit", "gauge",
+		"Adaptive admission limit (jobs running + queued).", st.AdmitLimit)
+	emit("parrot_queue_age_seconds", "gauge", "Age of the queue head, by priority class.",
+		st.OldestInteractive.Seconds(), "class", "interactive")
+	emit("parrot_queue_age_seconds", "gauge", "Age of the queue head, by priority class.",
+		st.OldestBatch.Seconds(), "class", "batch")
 	emit("parrot_sched_completed_total", "counter", "Simulations executed.", float64(st.Completed))
 	emit("parrot_sched_replayed_total", "counter", "Simulations completed via memo replay.", float64(st.Replayed))
 	emit("parrot_sched_abandoned_total", "counter", "Queued jobs dropped with no waiters.", float64(st.Abandoned))
@@ -344,22 +421,59 @@ func (s *Sched) submit(ctx context.Context, spec experiments.RunSpec, pri Priori
 		s.mu.Unlock()
 		return nil, DispComputed, ErrDraining
 	}
+	now := s.now()
+	// Deadline feasibility: when the caller's remaining budget is already
+	// below the cost model's estimate for this model, fail fast instead of
+	// simulating work nobody will wait for. An unobserved model estimates
+	// 0 and always admits.
+	deadline, hasDeadline := ctx.Deadline()
+	if hasDeadline {
+		if est := s.cost.estimate(spec.Model); est > 0 && deadline.Sub(now) < est {
+			s.stats.Submitted++
+			s.stats.DeadlineRejected++
+			s.mu.Unlock()
+			return nil, DispComputed, fmt.Errorf(
+				"%w: %s remaining, %s estimated for model %s",
+				ErrDeadlineUnmeetable, deadline.Sub(now).Round(time.Millisecond),
+				est.Round(time.Millisecond), spec.Model.ID)
+		}
+	}
 	q := &s.qb
 	if pri == Interactive {
 		q = &s.qi
 	}
+	// The hard QueueCap stays the first gate (legacy ErrQueueFull
+	// contract); adaptive admission only sheds while queue room remains.
 	if len(*q) >= s.cfg.QueueCap {
 		s.stats.Submitted++
 		s.stats.Rejected++
 		s.mu.Unlock()
 		return nil, DispComputed, ErrQueueFull
 	}
+	// Adaptive admission: load counts everything a new job would queue
+	// behind. Batch sheds first (limiter.go).
+	load := s.stats.Running + len(s.qi) + len(s.qb)
+	if !s.limiter.admit(load, pri, now) {
+		s.stats.Submitted++
+		if pri == Interactive {
+			s.stats.ShedInteractive++
+		} else {
+			s.stats.ShedBatch++
+		}
+		retry := s.cost.retryAfter(load, s.cfg.Workers)
+		s.mu.Unlock()
+		return nil, DispComputed, &ShedError{Class: pri, RetryAfter: retry}
+	}
 	fl := &flight{done: make(chan struct{}), waiters: 1}
 	s.inflight[digest] = fl
-	*q = append(*q, &job{
+	j := &job{
 		spec: spec, digest: digest, fl: fl, pri: pri,
-		tr: tr, enqueuedAt: time.Now(),
-	})
+		tr: tr, enqueuedAt: now,
+	}
+	if hasDeadline {
+		j.deadline = deadline
+	}
+	*q = append(*q, j)
 	s.stats.Submitted++
 	s.stats.Enqueued++
 	s.cond.Signal()
@@ -422,7 +536,7 @@ func (s *Sched) next(last config.Model, haveLast bool) *job {
 			continue
 		}
 		s.stats.Running++
-		j.popAt = time.Now()
+		j.popAt = s.now()
 		s.queueWait[j.pri].Observe(j.popAt.Sub(j.enqueuedAt).Seconds())
 		j.tr.AddSpan("sched.queued", telemetry.TIDWorker, j.enqueuedAt, j.popAt,
 			telemetry.A("class", j.pri.String()))
@@ -459,19 +573,35 @@ func (s *Sched) worker() {
 		}
 
 		// A queued job whose waiters all left is abandoned: nobody wants the
-		// result and the cache gains little from speculative cells.
+		// result and the cache gains little from speculative cells. A job
+		// whose deadline lapsed (or will lapse before the cost-model estimate
+		// completes) is evicted the same way — simulating it serves nobody.
 		s.mu.Lock()
 		abandoned := j.fl.waiters == 0
+		evicted := false
 		if abandoned {
 			s.stats.Abandoned++
+		} else if !j.deadline.IsZero() && !s.now().Add(s.cost.estimate(j.spec.Model)).Before(j.deadline) {
+			evicted = true
+			s.stats.DeadlineEvicted++
+		}
+		if abandoned || evicted {
 			s.stats.Running--
 			delete(s.inflight, j.digest)
-			j.fl.err = context.Canceled
+			if evicted {
+				j.fl.err = context.DeadlineExceeded
+			} else {
+				j.fl.err = context.Canceled
+			}
 			close(j.fl.done)
 		}
 		s.mu.Unlock()
-		if abandoned {
-			s.log.Debug("job abandoned", tlog.F("digest", shortDigest(j.digest)),
+		if abandoned || evicted {
+			reason := "abandoned"
+			if evicted {
+				reason = "deadline evicted"
+			}
+			s.log.Debug("job "+reason, tlog.F("digest", shortDigest(j.digest)),
 				tlog.F("model", string(j.spec.Model.ID)), tlog.F("app", j.spec.App.Name))
 			continue
 		}
@@ -485,17 +615,30 @@ func (s *Sched) worker() {
 			m.Reset()
 		}
 		last, haveLast = j.spec.Model, true
-		gotM := time.Now()
+		gotM := s.now()
 		j.tr.AddSpan("machine.checkout", telemetry.TIDWorker, j.popAt, gotM,
 			telemetry.A("model", string(j.spec.Model.ID)),
 			telemetry.A("pooled", strconv.FormatBool(pooled)))
+
+		// Chaos site "sched.run": injected latency lands inside the busy
+		// window (the cost model and deadline estimates must see it); an
+		// injected fault fails the flight without simulating.
+		if cerr := s.cfg.Chaos.Inject("sched.run", string(j.spec.Model.ID)+"/"+j.spec.App.Name); cerr != nil {
+			s.mu.Lock()
+			s.stats.Running--
+			delete(s.inflight, j.digest)
+			j.fl.err = cerr
+			close(j.fl.done)
+			s.mu.Unlock()
+			continue
+		}
 
 		// Worker machines keep their memo chain tables across jobs (Reset
 		// preserves them), so a spec that misses the result cache but was
 		// simulated before on this machine replays instead of re-simulating.
 		preReplays := m.MemoStats().RunsReplayed
 		res := core.RunWarmOn(m, j.spec.App, j.spec.Insts)
-		doneT := time.Now()
+		doneT := s.now()
 		busy := doneT.Sub(gotM)
 		replayed := m.MemoStats().RunsReplayed > preReplays
 
@@ -522,9 +665,10 @@ func (s *Sched) worker() {
 
 		if c := s.cfg.Cache; c != nil {
 			// Disk write errors are non-fatal: the result is still returned
-			// and memory-cached; the cache counts the error.
-			_ = c.Put(j.digest, res)
-			j.tr.AddSpan("cache.put", telemetry.TIDWorker, doneT, time.Now(),
+			// and memory-cached; the cache counts the error. The family tag
+			// (model+app, insts masked) feeds the degraded-serving fallback.
+			_ = c.PutTagged(j.digest, j.spec.FamilyKey(), res)
+			j.tr.AddSpan("cache.put", telemetry.TIDWorker, doneT, s.now(),
 				telemetry.A("digest", shortDigest(j.digest)))
 		}
 
@@ -538,6 +682,12 @@ func (s *Sched) worker() {
 		s.stats.DynEnergy += res.DynEnergy
 		s.stats.BusyTime += busy
 		s.stats.Running--
+		s.cost.observe(j.spec.Model, busy)
+		if j.pri == Interactive {
+			// Interactive queue wait is the admission limiter's control
+			// signal; batch waits are the design working as intended.
+			s.limiter.observe(j.popAt.Sub(j.enqueuedAt), s.now())
+		}
 		delete(s.inflight, j.digest)
 		j.fl.res = res
 		j.fl.disp = disp
@@ -603,7 +753,40 @@ func (s *Sched) Stats() Stats {
 	st := s.stats
 	st.InteractiveDepth = len(s.qi)
 	st.BatchDepth = len(s.qb)
+	now := s.now()
+	// Apply any pending recovery drift so the exported limit reflects what
+	// the next submit would actually see — otherwise a post-storm idle
+	// daemon reports the clamped limit forever.
+	s.limiter.recover(now)
+	st.AdmitLimit = s.limiter.limit
+	if len(s.qi) > 0 {
+		st.OldestInteractive = now.Sub(s.qi[0].enqueuedAt)
+	}
+	if len(s.qb) > 0 {
+		st.OldestBatch = now.Sub(s.qb[0].enqueuedAt)
+	}
 	return st
+}
+
+// RetryAfterHint sizes a back-off hint from the current load and cost
+// model — the API layer attaches it to shed paths (e.g. ErrQueueFull)
+// that don't carry their own *ShedError hint.
+func (s *Sched) RetryAfterHint() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	load := s.stats.Running + len(s.qi) + len(s.qb)
+	return s.cost.retryAfter(load, s.cfg.Workers)
+}
+
+// SetAdmitLimit forces the admission limit — an operational override and
+// the deterministic seam the overload tests use to provoke sheds without
+// racing the AIMD feedback loop. The limit remains subject to recovery
+// drift and AIMD feedback afterwards.
+func (s *Sched) SetAdmitLimit(v float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.limiter.limit = v
+	s.limiter.lastDec = s.now() // hold recovery drift off for recoverWait
 }
 
 // shortDigest truncates a content address for span/log attributes.

@@ -323,6 +323,7 @@ func TestDrainStillServesCache(t *testing.T) {
 // continuously snapshots Stats, asserting the submit-outcome invariant
 //
 //	Submitted == CacheHits + Deduped + Enqueued + Rejected + DrainRejected
+//	             + ShedInteractive + ShedBatch + DeadlineRejected
 //
 // on every snapshot. Before the single-critical-section fix, Submitted was
 // incremented in a separate lock acquisition from its outcome counter, so
@@ -347,10 +348,13 @@ func TestStatsNeverTorn(t *testing.T) {
 			}
 			st := s.Stats()
 			scrapes++
-			if st.Submitted != st.CacheHits+st.Deduped+st.Enqueued+st.Rejected+st.DrainRejected {
+			sum := st.CacheHits + st.Deduped + st.Enqueued + st.Rejected + st.DrainRejected +
+				st.ShedInteractive + st.ShedBatch + st.DeadlineRejected
+			if st.Submitted != sum {
 				torn++
-				t.Errorf("torn stats: submitted=%d != hits=%d + deduped=%d + enqueued=%d + rejected=%d + drainRejected=%d",
-					st.Submitted, st.CacheHits, st.Deduped, st.Enqueued, st.Rejected, st.DrainRejected)
+				t.Errorf("torn stats: submitted=%d != hits=%d + deduped=%d + enqueued=%d + rejected=%d + drainRejected=%d + shedI=%d + shedB=%d + deadline=%d",
+					st.Submitted, st.CacheHits, st.Deduped, st.Enqueued, st.Rejected, st.DrainRejected,
+					st.ShedInteractive, st.ShedBatch, st.DeadlineRejected)
 				return
 			}
 		}

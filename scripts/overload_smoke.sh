@@ -1,0 +1,132 @@
+#!/usr/bin/env bash
+# overload_smoke.sh — end-to-end smoke test of the overload-resilience layer.
+#
+# Boots one deliberately under-provisioned parrotd (2 workers, 50ms
+# interactive queue-wait target) with deterministic chaos latency injected
+# into every simulation, then drives a 10× closed-loop storm (20 workers,
+# half batch, cold digest churn) straight at it. The test asserts the four
+# guarantees the overload design makes:
+#
+#   1. no collapse: zero 5xx responses under the storm — overload surfaces
+#      as explicit 429 sheds, never as internal errors or timeouts
+#      (parrotload -max-5xx 0);
+#   2. shed correctness: every 429 carries a usable Retry-After hint
+#      (-require-retry-after), batch sheds before interactive
+#      (parrot_shed_total{class="batch"} >= 1), and interactive goodput
+#      out-survives batch goodput (-min-goodput-ratio 1.0) with a bounded
+#      successful-interactive p99;
+#   3. recovery: once the storm stops, the AIMD admission limit drifts back
+#      up (parrot_admit_limit) and a full 44×7 matrix pass reproduces the
+#      golden digest pinned in internal/experiments/digest_test.go — storm,
+#      sheds and chaos latency never corrupt results, only delay them;
+#   4. deadline propagation: a warm load pass stamping X-Parrot-Deadline is
+#      visible in parrot_deadline_requests_total.
+#
+# Chaos is seeded from PARROT_CHAOS (default 1): rerunning with the same
+# seed replays the exact same injection decisions.
+#
+# Environment knobs (defaults tuned for CI):
+#   SMOKE_N           insts per cell (default 50000 — must stay 50000 for
+#                     the golden digest gate; any other value skips it and
+#                     gates on cold/warm digest agreement instead)
+#   SMOKE_STORM_SECS  storm duration in seconds (default 10)
+#   SMOKE_P99I        successful-interactive p99 budget under storm
+#                     (default 5s — generous for shared CI runners)
+#   PARROT_CHAOS      chaos seed (default 1)
+set -euo pipefail
+
+N="${SMOKE_N:-50000}"
+STORM_SECS="${SMOKE_STORM_SECS:-10}"
+P99I="${SMOKE_P99I:-5s}"
+export PARROT_CHAOS="${PARROT_CHAOS:-1}"
+
+cd "$(dirname "$0")/.."
+
+workdir="$(mktemp -d)"
+cleanup() {
+  if [[ -n "${pd_pid:-}" ]] && kill -0 "$pd_pid" 2>/dev/null; then
+    kill -TERM "$pd_pid" 2>/dev/null || true
+    wait "$pd_pid" 2>/dev/null || true
+  fi
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== building serving binaries"
+go build -o "$workdir/parrotd" ./cmd/parrotd
+go build -o "$workdir/parrotctl" ./cmd/parrotctl
+go build -o "$workdir/parrotload" ./cmd/parrotload
+
+echo "== starting under-provisioned parrotd (2 workers, 50ms admit target, chaos seed $PARROT_CHAOS)"
+"$workdir/parrotd" -addr 127.0.0.1:0 -addrfile "$workdir/addr" -prewarm \
+  -workers 2 -admittarget 50ms \
+  -chaos 'site=sched.run p=0.6 lat=30ms jitter=30ms' \
+  >"$workdir/parrotd.log" 2>&1 &
+pd_pid=$!
+
+for _ in $(seq 1 100); do
+  [[ -s "$workdir/addr" ]] && break
+  kill -0 "$pd_pid" 2>/dev/null || { cat "$workdir/parrotd.log"; echo "parrotd exited early" >&2; exit 1; }
+  sleep 0.1
+done
+[[ -s "$workdir/addr" ]] || { echo "parrotd never bound" >&2; exit 1; }
+export PARROTD="http://$(cat "$workdir/addr")"
+echo "   $PARROTD"
+
+"$workdir/parrotctl" health
+
+golden=""
+if [[ "$N" == 50000 ]]; then
+  golden="$(sed -n 's/^const goldenMatrixDigest50k = "\(.*\)"$/\1/p' internal/experiments/digest_test.go)"
+  [[ -n "$golden" ]] || { echo "golden digest constant not found" >&2; exit 1; }
+  echo "== golden 44×7 @ 50k digest: $golden"
+fi
+
+echo "== 10× overload storm (${STORM_SECS}s closed loop, 20 workers vs 2, half batch, cold churn)"
+# -retries 1 records every shed as a shed instead of retrying through it,
+# so the shed-correctness gate sees the raw 429 stream.
+"$workdir/parrotload" -mode closed -concurrency 20 -duration "${STORM_SECS}s" \
+  -n "$N" -batch-frac 0.5 -distinct 64 -retries 1 \
+  -max-5xx 0 -require-retry-after -min-goodput-ratio 1.0 \
+  -max-interactive-p99 "$P99I" \
+  -report "$workdir/overload.json"
+
+echo "== shed + chaos telemetry after the storm"
+# Batch must have shed (it gates at 80% of the admission limit), no run
+# request may ever have answered 500 (optional series: absent means zero),
+# and the chaos layer must actually have fired inside sched.run.
+"$workdir/parrotctl" top \
+  -expect 'parrot_shed_total{class="batch"}>=1' \
+  -expect '?parrot_requests_total{code="500",route="run"}==0' \
+  -expect '?parrot_requests_total{code="502",route="run"}==0' \
+  -expect 'parrot_chaos_injections_total{site="sched.run"}>=1'
+
+echo "== waiting for the AIMD admission limit to recover"
+ok=""
+for _ in $(seq 1 120); do
+  if "$workdir/parrotctl" top -expect 'parrot_admit_limit>=1000' >/dev/null 2>&1; then ok=1; break; fi
+  sleep 0.25
+done
+[[ -n "$ok" ]] || { "$workdir/parrotctl" top; echo "admission limit never recovered after the storm" >&2; exit 1; }
+
+echo "== post-storm full 44×7 matrix (storm must not have corrupted anything)"
+mat_args=(-n "$N")
+[[ -n "$golden" ]] && mat_args+=(-expect-digest "$golden")
+"$workdir/parrotctl" matrix "${mat_args[@]}" | tee "$workdir/cold.out"
+digest="$(sed -n 's/^digest: //p' "$workdir/cold.out")"
+[[ -n "$digest" ]] || { echo "no digest in post-storm matrix output" >&2; exit 1; }
+
+echo "== warm matrix pass (≥95% cached, byte-identical)"
+"$workdir/parrotctl" matrix -n "$N" -expect-digest "$digest" -min-cached 0.95
+
+echo "== warm load with propagated deadlines"
+"$workdir/parrotload" -mode closed -concurrency 4 -requests 200 \
+  -n "$N" -deadline 30s -max-5xx 0
+"$workdir/parrotctl" top -expect 'parrot_deadline_requests_total>=1'
+
+echo "== graceful drain"
+kill -TERM "$pd_pid"
+wait "$pd_pid"
+unset pd_pid
+
+echo "overload smoke: OK (digest $digest, chaos seed $PARROT_CHAOS)"
